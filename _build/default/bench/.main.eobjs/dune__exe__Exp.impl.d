@@ -1,0 +1,1 @@
+bench/exp.ml: Engine Machine Model Printf Stencil String Yasksite Yasksite_util

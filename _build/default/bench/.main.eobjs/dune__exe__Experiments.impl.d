@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Chart Config Engine Exp Lc List Machine Model Ode Offsite Printf Stats Stencil String Table Tuner Yasksite Yasksite_ecm

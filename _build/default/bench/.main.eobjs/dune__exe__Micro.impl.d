@@ -1,0 +1,1 @@
+bench/micro.ml: Advisor Analyze Bechamel Benchmark Config Engine Exp Grid Hashtbl Instance List Machine Measure Model Ode Offsite Printf Staged Stencil Test Time Toolkit Yasksite Yasksite_util

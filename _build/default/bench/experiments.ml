@@ -1,0 +1,620 @@
+(* The reconstructed evaluation: one function per table/figure role
+   (E1..E10, see DESIGN.md). Every function regenerates the rows/series
+   the corresponding paper artefact reports. *)
+open Yasksite
+open Exp
+module Measure = Engine.Measure
+
+(* ------------------------------------------------------------------ *)
+(* E1 — testbed characteristics table *)
+
+let e1 () =
+  header "e1" "Testbed characteristics (full-size machine models)";
+  List.iter
+    (fun m ->
+      Table.print (Machine.describe m);
+      print_newline ())
+    [ Machine.cascade_lake; Machine.rome ];
+  Printf.printf
+    "Measurements below run on the 8x cache-scaled versions (%s, %s) with\n\
+     working sets scaled alike; see DESIGN.md for the substitution rationale.\n"
+    clx.Machine.name rome.Machine.name
+
+(* ------------------------------------------------------------------ *)
+(* E2 — stencil suite properties table *)
+
+let e2 () =
+  header "e2" "Stencil suite: static properties";
+  let tbl =
+    Table.create
+      ~columns:
+        (List.map
+           (fun c -> (c, Table.Left))
+           [ "name"; "rank"; "shape"; "radius"; "flops"; "loads";
+             "B_c [B/LUP]"; "FLOP/B" ])
+      ()
+  in
+  List.iter
+    (fun s ->
+      Table.add_row tbl (Stencil.Analysis.describe (Stencil.Analysis.of_spec s)))
+    Stencil.Suite.all;
+  Table.print tbl
+
+(* ------------------------------------------------------------------ *)
+(* E3 / E4 — single-core ECM prediction vs measurement *)
+
+let single_core_experiment machine =
+  let tbl =
+    Table.create
+      ~columns:
+        [ ("stencil", Table.Left); ("grid", Table.Left);
+          ("pred cy/CL", Table.Right); ("meas cy/CL", Table.Right);
+          ("pred MLUP/s", Table.Right); ("meas MLUP/s", Table.Right);
+          ("err", Table.Right) ]
+      ()
+  in
+  let errors = ref [] in
+  List.iter
+    (fun spec ->
+      let spec = Stencil.Suite.resolve_defaults spec in
+      let dims = dims_for spec in
+      let p, m = pred_meas machine spec dims (Config.v ()) in
+      let e = err ~predicted:p.Model.t_ecm ~measured:m.Measure.cycles_per_cl in
+      errors := abs_float e :: !errors;
+      Table.add_row tbl
+        [ spec.Stencil.Spec.name;
+          String.concat "x" (Array.to_list (Array.map string_of_int dims));
+          Table.cell_f p.Model.t_ecm;
+          Table.cell_f m.Measure.cycles_per_cl;
+          Table.cell_f ~prec:0 (mlups p.Model.lups_single);
+          Table.cell_f ~prec:0 (mlups m.Measure.lups_core);
+          Table.cell_pct e ])
+    Stencil.Suite.eval_suite;
+  Table.print tbl;
+  Printf.printf "mean |error| = %s, max |error| = %s\n"
+    (Table.cell_pct (Stats.mean (Array.of_list !errors)))
+    (Table.cell_pct (Stats.maximum (Array.of_list !errors)))
+
+let e3 () =
+  header "e3" "Single-core ECM prediction vs measurement (Cascade Lake)";
+  single_core_experiment clx
+
+let e4 () =
+  header "e4" "Single-core ECM prediction vs measurement (Rome)";
+  single_core_experiment rome
+
+(* ------------------------------------------------------------------ *)
+(* E5 — multicore scaling and bandwidth saturation *)
+
+let scaling_experiment machine spec measured_threads =
+  let spec = Stencil.Suite.resolve_defaults spec in
+  let dims = dims_for spec in
+  let info = Stencil.Analysis.of_spec spec in
+  let predicted =
+    Model.chip_scaling machine info ~dims ~config:Config.default
+      ~max_threads:machine.Machine.cores
+  in
+  let measured =
+    List.map
+      (fun n ->
+        ( float_of_int n,
+          glups (Measure.lups_at_threads machine spec ~dims ~config:Config.default
+                   ~threads:n) ))
+      measured_threads
+  in
+  let p0 =
+    Model.predict machine info ~dims ~config:Config.default
+  in
+  Printf.printf "%s on %s: predicted saturation at %d cores (ceiling %.2f GLUP/s)\n"
+    spec.Stencil.Spec.name machine.Machine.name p0.Model.saturation_cores
+    (glups p0.Model.lups_saturated);
+  print_string
+    (Chart.line
+       ~title:
+         (Printf.sprintf "%s scaling on %s" spec.Stencil.Spec.name
+            machine.Machine.name)
+       ~x_label:"cores" ~y_label:"GLUP/s"
+       [ { Chart.label = "predicted";
+           points =
+             Array.map (fun (n, l) -> (float_of_int n, glups l)) predicted };
+         { Chart.label = "measured"; points = Array.of_list measured } ]);
+  let tbl =
+    Table.create
+      ~columns:
+        [ ("cores", Table.Right); ("pred GLUP/s", Table.Right);
+          ("meas GLUP/s", Table.Right); ("err", Table.Right) ]
+      ()
+  in
+  List.iter
+    (fun n ->
+      let _, pl = predicted.(n - 1) in
+      let ml =
+        List.assoc (float_of_int n) measured
+      in
+      Table.add_row tbl
+        [ string_of_int n;
+          Table.cell_f (glups pl);
+          Table.cell_f ml;
+          Table.cell_pct (err ~predicted:(glups pl) ~measured:ml) ])
+    measured_threads;
+  Table.print tbl
+
+let e5 () =
+  header "e5" "Multicore scaling and bandwidth saturation, pred vs meas";
+  scaling_experiment clx Stencil.Suite.heat_3d_7pt [ 1; 2; 4; 8; 12; 16; 20 ];
+  print_newline ();
+  scaling_experiment clx Stencil.Suite.heat_2d_5pt [ 1; 2; 4; 8; 12; 16; 20 ];
+  print_newline ();
+  scaling_experiment rome Stencil.Suite.heat_3d_7pt [ 1; 2; 4; 8; 16; 32; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* E6 — spatial blocking sweep and layer conditions *)
+
+let e6 () =
+  header "e6" "Spatial blocking sweep: layer conditions vs performance";
+  let spec = Stencil.Suite.resolve_defaults Stencil.Suite.heat_3d_7pt in
+  let dims = [| 64; 96; 96 |] in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "heat-3d-7pt, %s, single core, y-block sweep"
+           clx.Machine.name)
+      ~columns:
+        [ ("y-block", Table.Right); ("L1 cond", Table.Left);
+          ("L2 cond", Table.Left); ("pred B/LUP L2", Table.Right);
+          ("meas B/LUP L2", Table.Right); ("pred MLUP/s", Table.Right);
+          ("meas MLUP/s", Table.Right) ]
+      ()
+  in
+  let cond_name = function
+    | Lc.All_fits -> "fits"
+    | Lc.Outer_reuse -> "3D-LC"
+    | Lc.Row_reuse -> "2D-LC"
+    | Lc.No_reuse -> "broken"
+  in
+  let series_pred = ref [] and series_meas = ref [] in
+  List.iter
+    (fun by ->
+      let config =
+        if by = 0 then Config.v () else Config.v ~block:[| 0; by; 96 |] ()
+      in
+      let p, m = pred_meas clx spec dims config in
+      let line_bytes = float_of_int (Machine.line_bytes clx) in
+      let meas_l2_bpl = m.Measure.lines_per_cl.(1) *. line_bytes /. 8.0 in
+      let by_label = if by = 0 then 96 else by in
+      series_pred := (float_of_int by_label, mlups p.Model.lups_single) :: !series_pred;
+      series_meas := (float_of_int by_label, mlups m.Measure.lups_core) :: !series_meas;
+      Table.add_row tbl
+        [ (if by = 0 then "none" else string_of_int by);
+          cond_name p.Model.boundaries.(0).Lc.condition;
+          cond_name p.Model.boundaries.(1).Lc.condition;
+          Table.cell_f p.Model.boundaries.(1).Lc.bytes_per_lup;
+          Table.cell_f meas_l2_bpl;
+          Table.cell_f ~prec:0 (mlups p.Model.lups_single);
+          Table.cell_f ~prec:0 (mlups m.Measure.lups_core) ])
+    [ 2; 4; 8; 16; 32; 64; 0 ];
+  Table.print tbl;
+  print_string
+    (Chart.line ~title:"performance vs y-block size" ~x_label:"y-block"
+       ~y_label:"MLUP/s"
+       [ { Chart.label = "predicted"; points = Array.of_list (List.rev !series_pred) };
+         { Chart.label = "measured"; points = Array.of_list (List.rev !series_meas) } ])
+
+(* ------------------------------------------------------------------ *)
+(* E7 — vector folding *)
+
+let folding_experiment machine folds =
+  List.iter
+    (fun spec ->
+      let spec = Stencil.Suite.resolve_defaults spec in
+      let dims = dims_for spec in
+      let tbl =
+        Table.create
+          ~title:
+            (Printf.sprintf "%s on %s" spec.Stencil.Spec.name
+               machine.Machine.name)
+          ~columns:
+            [ ("fold", Table.Left); ("pred L1 lines/CL", Table.Right);
+              ("meas L1 lines/CL", Table.Right); ("pred MLUP/s", Table.Right);
+              ("meas MLUP/s", Table.Right) ]
+          ()
+      in
+      List.iter
+        (fun fold ->
+          let config =
+            match fold with
+            | None -> Config.v ()
+            | Some f -> Config.v ~fold:f ()
+          in
+          let p, m = pred_meas machine spec dims config in
+          Table.add_row tbl
+            [ (match fold with
+              | None -> "linear"
+              | Some f ->
+                  String.concat "x" (Array.to_list (Array.map string_of_int f)));
+              Table.cell_f p.Model.boundaries.(0).Lc.lines_per_cl;
+              Table.cell_f m.Measure.lines_per_cl.(0);
+              Table.cell_f ~prec:0 (mlups p.Model.lups_single);
+              Table.cell_f ~prec:0 (mlups m.Measure.lups_core) ])
+        folds;
+      Table.print tbl;
+      print_newline ())
+    [ Stencil.Suite.heat_3d_7pt; Stencil.Suite.box_3d_27pt;
+      Stencil.Suite.star_3d_r2 ]
+
+let e7 () =
+  header "e7" "Vector folding: cache-line utilisation and performance";
+  folding_experiment clx
+    [ None; Some [| 1; 2; 4 |]; Some [| 1; 4; 2 |]; Some [| 2; 2; 2 |];
+      Some [| 1; 8; 1 |] ];
+  folding_experiment rome [ None; Some [| 1; 2; 2 |]; Some [| 2; 2; 1 |] ]
+
+(* ------------------------------------------------------------------ *)
+(* E8 — temporal (wavefront) blocking *)
+
+let wavefront_experiment machine spec =
+  let spec = Stencil.Suite.resolve_defaults spec in
+  (* Memory-bound working sets even for 2D: temporal blocking targets
+     the memory boundary. *)
+  let dims =
+    match spec.Stencil.Spec.rank with
+    | 2 -> [| 768; 768 |]
+    | _ -> dims_for spec
+  in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s on %s, single core" spec.Stencil.Spec.name
+           machine.Machine.name)
+      ~columns:
+        [ ("wf depth", Table.Right); ("pred B/LUP mem", Table.Right);
+          ("meas B/LUP mem", Table.Right); ("pred speedup", Table.Right);
+          ("meas speedup", Table.Right) ]
+      ()
+  in
+  let base_pred = ref 1.0 and base_meas = ref 1.0 in
+  List.iter
+    (fun wf ->
+      let config = Config.v ~wavefront:wf () in
+      let p, m = pred_meas machine spec dims config in
+      if wf = 1 then begin
+        base_pred := p.Model.lups_single;
+        base_meas := m.Measure.lups_core
+      end;
+      Table.add_row tbl
+        [ string_of_int wf;
+          Table.cell_f p.Model.mem_bytes_per_lup;
+          Table.cell_f m.Measure.mem_bytes_per_lup;
+          Table.cell_f (p.Model.lups_single /. !base_pred);
+          Table.cell_f (m.Measure.lups_core /. !base_meas) ])
+    [ 1; 2; 4; 8 ];
+  Table.print tbl;
+  print_newline ()
+
+let e8 () =
+  header "e8" "Temporal (wavefront) blocking: traffic reduction and speedup";
+  wavefront_experiment clx Stencil.Suite.heat_3d_7pt;
+  wavefront_experiment clx Stencil.Suite.heat_2d_5pt;
+  wavefront_experiment clx Stencil.Suite.box_3d_27pt;
+  wavefront_experiment rome Stencil.Suite.heat_3d_7pt
+
+(* ------------------------------------------------------------------ *)
+(* E9 — tuning cost: analytic model vs empirical search *)
+
+let e9 () =
+  header "e9" "Autotuning cost and quality: analytic (YaskSite) vs empirical";
+  let spec = Stencil.Suite.resolve_defaults Stencil.Suite.heat_3d_7pt in
+  let dims = [| 64; 64; 64 |] in
+  let threads = 8 in
+  let c = Tuner.compare_strategies clx spec ~dims ~threads in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "heat-3d-7pt %s, %d threads, 64^3 tuning grid"
+           clx.Machine.name threads)
+      ~columns:
+        [ ("strategy", Table.Left); ("model evals", Table.Right);
+          ("kernel runs", Table.Right); ("wall [s]", Table.Right);
+          ("chosen config", Table.Left); ("meas GLUP/s", Table.Right) ]
+      ()
+  in
+  let row name (r : Tuner.result) =
+    Table.add_row tbl
+      [ name;
+        string_of_int r.Tuner.model_evaluations;
+        string_of_int r.Tuner.kernel_runs;
+        Table.cell_f r.Tuner.wall_seconds;
+        Config.describe r.Tuner.chosen;
+        Table.cell_f (glups r.Tuner.measured_lups) ]
+  in
+  row "analytic (ECM)" c.Tuner.analytic;
+  row "empirical search" c.Tuner.empirical;
+  Table.print tbl;
+  Printf.printf
+    "kernel-run cost ratio: %.0fx fewer runs analytically; wall-clock ratio \
+     %.1fx; analytic choice reaches %s of the empirical optimum\n"
+    c.Tuner.cost_ratio c.Tuner.wall_ratio (Table.cell_pct c.Tuner.quality)
+
+(* ------------------------------------------------------------------ *)
+(* E10 — Offsite integration: variant ranking for explicit ODE methods *)
+
+let scheme_name = function
+  | `Unfused -> "unfused"
+  | `Fused -> "fused"
+  | `Mixed mask ->
+      "mixed:"
+      ^ String.concat ""
+          (Array.to_list (Array.map (fun b -> if b then "f" else "u") mask))
+
+let ode_case machine (pde : Ode.Pde.t) tab threads =
+  let dx = pde.Ode.Pde.dx in
+  let h = 0.2 *. dx *. dx /. (4.0 *. float_of_int pde.Ode.Pde.rank) in
+  let candidates = Offsite.evaluate machine pde tab ~h ~threads in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s x %s on %s, %d threads" tab.Ode.Tableau.name
+           pde.Ode.Pde.name machine.Machine.name threads)
+      ~columns:
+        [ ("variant", Table.Left); ("tuned", Table.Left);
+          ("sweeps", Table.Right); ("pred ms/step", Table.Right);
+          ("meas ms/step", Table.Right); ("err", Table.Right) ]
+      ()
+  in
+  List.iter
+    (fun (c : Offsite.candidate) ->
+      Table.add_row tbl
+        [ scheme_name c.Offsite.variant.Offsite.Variant.scheme;
+          (if c.Offsite.tuned then "yes" else "no");
+          string_of_int (Offsite.Variant.sweeps_per_step c.Offsite.variant);
+          Table.cell_f ~prec:3 (1e3 *. c.Offsite.predicted_step_seconds);
+          Table.cell_f ~prec:3 (1e3 *. c.Offsite.measured_step_seconds);
+          Table.cell_pct
+            (err ~predicted:c.Offsite.predicted_step_seconds
+               ~measured:c.Offsite.measured_step_seconds) ])
+    candidates;
+  Table.print tbl;
+  let q = Offsite.quality candidates in
+  Printf.printf
+    "  kendall tau %.2f | top-1 %s | selected-vs-naive speedup %.2fx | mean \
+     |err| %s\n\n"
+    q.Offsite.kendall
+    (if q.Offsite.top1 then "correct" else "WRONG")
+    q.Offsite.speedup_selected
+    (Table.cell_pct q.Offsite.mean_abs_error);
+  q
+
+let ode_case_mixed machine (pde : Ode.Pde.t) tab threads =
+  let dx = pde.Ode.Pde.dx in
+  let h = 0.2 *. dx *. dx /. (4.0 *. float_of_int pde.Ode.Pde.rank) in
+  let candidates = Offsite.evaluate_mixed machine pde tab ~h ~threads in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "%s x %s on %s, %d threads — full fusion-mask space (%d candidates)"
+           tab.Ode.Tableau.name pde.Ode.Pde.name machine.Machine.name threads
+           (List.length candidates))
+      ~columns:
+        [ ("variant", Table.Left); ("tuned", Table.Left);
+          ("sweeps", Table.Right); ("pred ms/step", Table.Right);
+          ("meas ms/step", Table.Right) ]
+      ()
+  in
+  List.iter
+    (fun (c : Offsite.candidate) ->
+      Table.add_row tbl
+        [ scheme_name c.Offsite.variant.Offsite.Variant.scheme;
+          (if c.Offsite.tuned then "yes" else "no");
+          string_of_int (Offsite.Variant.sweeps_per_step c.Offsite.variant);
+          Table.cell_f ~prec:3 (1e3 *. c.Offsite.predicted_step_seconds);
+          Table.cell_f ~prec:3 (1e3 *. c.Offsite.measured_step_seconds) ])
+    candidates;
+  Table.print tbl;
+  let q = Offsite.quality candidates in
+  Printf.printf
+    "  kendall tau %.2f | top-1 %s | selected within %s of the measured      optimum\n\n"
+    q.Offsite.kendall
+    (if q.Offsite.top1 then "correct" else "WRONG")
+    (Table.cell_pct q.Offsite.selected_gap);
+  q
+
+let e10 () =
+  header "e10" "Offsite integration: ODE variant ranking, pred vs meas";
+  (* Rich variant space first: every per-stage fusion mask of RK4. *)
+  ignore
+    (ode_case_mixed clx (Ode.Pde.heat ~rank:2 ~n:384 ~alpha:1.0) Ode.Tableau.rk4 4
+      : Offsite.quality);
+  let qs =
+    [ ode_case clx (Ode.Pde.heat ~rank:2 ~n:384 ~alpha:1.0) Ode.Tableau.rk4 4;
+      ode_case clx (Ode.Pde.heat ~rank:2 ~n:384 ~alpha:1.0) Ode.Tableau.heun2 4;
+      ode_case clx
+        (Ode.Pde.heat ~rank:2 ~n:384 ~alpha:1.0)
+        (Ode.Tableau.pirk ~stages:2 ~iterations:2)
+        4;
+      ode_case clx (Ode.Pde.heat ~rank:3 ~n:64 ~alpha:1.0) Ode.Tableau.rk4 4;
+      ode_case rome (Ode.Pde.heat ~rank:2 ~n:384 ~alpha:1.0) Ode.Tableau.rk4 4 ]
+  in
+  let top1s = List.filter (fun q -> q.Offsite.top1) qs in
+  Printf.printf
+    "summary: top-1 correct in %d/%d cases; mean kendall tau %.2f; mean \
+     selected speedup %.2fx\n"
+    (List.length top1s) (List.length qs)
+    (Stats.mean (Array.of_list (List.map (fun q -> q.Offsite.kendall) qs)))
+    (Stats.mean
+       (Array.of_list (List.map (fun q -> q.Offsite.speedup_selected) qs)))
+
+(* ------------------------------------------------------------------ *)
+(* E11 — ablation: ECM vs naive Roofline as the prediction engine *)
+
+let e11 () =
+  header "e11" "Ablation: ECM model vs naive Roofline baseline";
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "single core, %s (Roofline is config-blind)"
+           clx.Machine.name)
+      ~columns:
+        [ ("stencil", Table.Left); ("meas MLUP/s", Table.Right);
+          ("ECM MLUP/s", Table.Right); ("ECM err", Table.Right);
+          ("Roofline MLUP/s", Table.Right); ("Roofline err", Table.Right) ]
+      ()
+  in
+  let ecm_errors = ref [] and rl_errors = ref [] in
+  List.iter
+    (fun spec ->
+      let spec = Stencil.Suite.resolve_defaults spec in
+      let dims = dims_for spec in
+      let info = Stencil.Analysis.of_spec spec in
+      let p, m = pred_meas clx spec dims (Config.v ()) in
+      let rl = Yasksite_ecm.Roofline.predict clx info ~threads:1 in
+      let e_ecm =
+        err ~predicted:p.Model.lups_single ~measured:m.Measure.lups_core
+      in
+      let e_rl =
+        err ~predicted:rl.Yasksite_ecm.Roofline.lups_single
+          ~measured:m.Measure.lups_core
+      in
+      ecm_errors := abs_float e_ecm :: !ecm_errors;
+      rl_errors := abs_float e_rl :: !rl_errors;
+      Table.add_row tbl
+        [ spec.Stencil.Spec.name;
+          Table.cell_f ~prec:0 (mlups m.Measure.lups_core);
+          Table.cell_f ~prec:0 (mlups p.Model.lups_single);
+          Table.cell_pct e_ecm;
+          Table.cell_f ~prec:0
+            (mlups rl.Yasksite_ecm.Roofline.lups_single);
+          Table.cell_pct e_rl ])
+    Stencil.Suite.eval_suite;
+  Table.print tbl;
+  Printf.printf "mean |error|: ECM %s vs Roofline %s\n"
+    (Table.cell_pct (Stats.mean (Array.of_list !ecm_errors)))
+    (Table.cell_pct (Stats.mean (Array.of_list !rl_errors)));
+  (* Config sensitivity: Roofline cannot distinguish configurations. *)
+  let spec = Stencil.Suite.resolve_defaults Stencil.Suite.heat_3d_7pt in
+  let dims = dims_for spec in
+  Printf.printf
+    "\nconfig sensitivity (heat-3d-7pt, measured MLUP/s vs ECM — Roofline \
+     predicts %.0f MLUP/s for all):\n"
+    (mlups
+       (Yasksite_ecm.Roofline.predict clx
+          (Stencil.Analysis.of_spec spec) ~threads:1)
+         .Yasksite_ecm.Roofline.lups_single);
+  List.iter
+    (fun (label, config) ->
+      let p, m = pred_meas clx spec dims config in
+      Printf.printf "  %-18s ECM %5.0f  measured %5.0f\n" label
+        (mlups p.Model.lups_single)
+        (mlups m.Measure.lups_core))
+    [ ("naive", Config.v ());
+      ("blocked 8x96", Config.v ~block:[| 0; 8; 96 |] ());
+      ("wavefront 4", Config.v ~wavefront:4 ());
+      ("fold 1x8x1", Config.v ~fold:[| 1; 8; 1 |] ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* E12 — method-level ranking (stability-limited cost per unit time) *)
+
+let e12 () =
+  header "e12"
+    "Offsite method ranking: stability-limited cost per simulated second";
+  let pde = Ode.Pde.heat ~rank:2 ~n:384 ~alpha:1.0 in
+  let methods =
+    [ Ode.Tableau.euler; Ode.Tableau.heun2; Ode.Tableau.rk4;
+      Ode.Tableau.dopri5 ]
+  in
+  let choices = Offsite.rank_methods clx pde methods ~threads:4 in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s on %s, 4 threads" pde.Ode.Pde.name
+           clx.Machine.name)
+      ~columns:
+        [ ("method", Table.Left); ("order", Table.Right);
+          ("h_stable", Table.Right); ("best variant", Table.Left);
+          ("pred s/unit", Table.Right); ("meas s/unit", Table.Right) ]
+      ()
+  in
+  List.iter
+    (fun (c : Offsite.method_choice) ->
+      Table.add_row tbl
+        [ c.Offsite.tableau.Ode.Tableau.name;
+          string_of_int c.Offsite.tableau.Ode.Tableau.order;
+          Printf.sprintf "%.2e" c.Offsite.h_stable;
+          scheme_name c.Offsite.candidate.Offsite.variant.Offsite.Variant.scheme
+          ^ (if c.Offsite.candidate.Offsite.tuned then "+tuned" else "");
+          Table.cell_f c.Offsite.predicted_time_per_unit;
+          Table.cell_f c.Offsite.measured_time_per_unit ])
+    choices;
+  Table.print tbl;
+  let pred =
+    Array.of_list
+      (List.map (fun c -> c.Offsite.predicted_time_per_unit) choices)
+  in
+  let meas =
+    Array.of_list
+      (List.map (fun c -> c.Offsite.measured_time_per_unit) choices)
+  in
+  Printf.printf
+    "method-ranking kendall tau %.2f, top-1 %s (note: stability-limited \
+     cost only; accuracy orders differ)\n"
+    (Stats.kendall_tau pred meas)
+    (if Stats.top1_agrees ~better_is_lower:true pred meas then "correct"
+     else "WRONG")
+
+(* ------------------------------------------------------------------ *)
+(* E13 — extension: accuracy-constrained method + implementation choice *)
+
+let e13 () =
+  header "e13"
+    "Offsite extension: cheapest method + variant for a target accuracy";
+  let pde = Ode.Pde.heat ~rank:2 ~n:64 ~alpha:1.0 in
+  let methods =
+    [ Ode.Tableau.euler; Ode.Tableau.heun2; Ode.Tableau.rk4;
+      Ode.Tableau.dopri5 ]
+  in
+  List.iter
+    (fun tol ->
+      let choices =
+        Offsite.rank_methods_at_accuracy clx pde methods ~t_end:0.002 ~tol
+          ~threads:4
+      in
+      let tbl =
+        Table.create
+          ~title:
+            (Printf.sprintf "%s, t_end = 0.002, tol = %.0e, 4 threads"
+               pde.Ode.Pde.name tol)
+          ~columns:
+            [ ("method", Table.Left); ("order", Table.Right);
+              ("steps", Table.Right); ("achieved err", Table.Right);
+              ("variant", Table.Left); ("pred ms", Table.Right);
+              ("meas ms", Table.Right) ]
+          ()
+      in
+      List.iter
+        (fun (c : Offsite.accuracy_choice) ->
+          Table.add_row tbl
+            [ c.Offsite.tableau_a.Ode.Tableau.name;
+              string_of_int c.Offsite.tableau_a.Ode.Tableau.order;
+              string_of_int c.Offsite.steps;
+              Printf.sprintf "%.1e" c.Offsite.achieved_error;
+              scheme_name
+                c.Offsite.candidate_a.Offsite.variant.Offsite.Variant.scheme;
+              Table.cell_f (1e3 *. c.Offsite.predicted_seconds);
+              Table.cell_f (1e3 *. c.Offsite.measured_seconds) ])
+        choices;
+      Table.print tbl;
+      let pred =
+        Array.of_list (List.map (fun c -> c.Offsite.predicted_seconds) choices)
+      in
+      let meas =
+        Array.of_list (List.map (fun c -> c.Offsite.measured_seconds) choices)
+      in
+      Printf.printf "  kendall tau %.2f, top-1 %s\n\n"
+        (Stats.kendall_tau pred meas)
+        (if Stats.top1_agrees ~better_is_lower:true pred meas then "correct"
+         else "WRONG"))
+    [ 1e-3; 1e-9 ]
+
+let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
+            ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+            ("e11", e11); ("e12", e12); ("e13", e13) ]

@@ -1,0 +1,115 @@
+(* Bechamel micro-benchmarks: one Test.make per experiment, timing the
+   core computational kernel that the corresponding table/figure
+   exercises (run with: dune exec bench/main.exe -- --micro). *)
+open Yasksite
+open Bechamel
+open Toolkit
+
+let clx = Exp.clx
+
+let small_kernel spec dims =
+  let spec = Stencil.Suite.resolve_defaults spec in
+  let info = Stencil.Analysis.of_spec spec in
+  let halo = Stencil.Analysis.halo info in
+  let rng = Yasksite_util.Prng.create ~seed:7 in
+  let input = Grid.create ~halo ~dims () in
+  Grid.fill input ~f:(fun _ -> Yasksite_util.Prng.float rng);
+  Grid.halo_dirichlet input 0.0;
+  let output = Grid.create ~halo ~dims () in
+  (spec, input, output)
+
+let sweep_test name spec dims config =
+  let spec, input, output = small_kernel spec dims in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore
+           (Engine.Sweep.run ~config spec ~inputs:[| input |] ~output
+             : Engine.Sweep.stats)))
+
+let tests =
+  let heat3d = Stencil.Suite.heat_3d_7pt in
+  let dims3 = [| 24; 24; 24 |] in
+  [ (* e1: machine model construction *)
+    Test.make ~name:"e1-machine-describe"
+      (Staged.stage (fun () ->
+           ignore (Machine.describe Machine.cascade_lake : Yasksite_util.Table.t)));
+    (* e2: stencil analysis *)
+    Test.make ~name:"e2-stencil-analysis"
+      (Staged.stage (fun () ->
+           ignore
+             (Stencil.Analysis.of_spec Stencil.Suite.box_3d_27pt
+               : Stencil.Analysis.t)));
+    (* e3/e4: single-core model evaluation and a sweep *)
+    Test.make ~name:"e3-ecm-predict"
+      (let info = Stencil.Analysis.of_spec heat3d in
+       Staged.stage (fun () ->
+           ignore
+             (Model.predict clx info ~dims:[| 64; 64; 64 |]
+                ~config:Config.default
+               : Model.prediction)));
+    sweep_test "e4-naive-sweep" heat3d dims3 (Config.v ());
+    (* e5: multicore scaling model *)
+    Test.make ~name:"e5-chip-scaling"
+      (let info = Stencil.Analysis.of_spec heat3d in
+       Staged.stage (fun () ->
+           ignore
+             (Model.chip_scaling clx info ~dims:[| 64; 64; 64 |]
+                ~config:Config.default ~max_threads:20
+               : (int * float) array)));
+    (* e6: blocked sweep *)
+    sweep_test "e6-blocked-sweep" heat3d dims3 (Config.v ~block:[| 0; 8; 24 |] ());
+    (* e7: folded layout sweep *)
+    sweep_test "e7-folded-sweep" heat3d dims3 (Config.v ~fold:[| 1; 2; 4 |] ());
+    (* e8: wavefront execution *)
+    Test.make ~name:"e8-wavefront"
+      (let spec = Stencil.Suite.resolve_defaults heat3d in
+       let halo = [| 1; 1; 1 |] in
+       let a = Grid.create ~halo ~dims:dims3 () in
+       let b = Grid.create ~halo ~dims:dims3 () in
+       Staged.stage (fun () ->
+           ignore
+             (Engine.Wavefront.steps ~config:(Config.v ~wavefront:4 ()) spec ~a
+                ~b ~steps:4
+               : Grid.t * Engine.Sweep.stats)));
+    (* e9: analytic tuning pass *)
+    Test.make ~name:"e9-advisor-rank-all"
+      (let info = Stencil.Analysis.of_spec heat3d in
+       Staged.stage (fun () ->
+           ignore
+             (Advisor.rank_all clx info ~dims:[| 64; 64; 64 |] ~threads:8
+               : (Config.t * Model.prediction) list)));
+    (* e10: one ODE step of the fused RK4 variant *)
+    Test.make ~name:"e10-rk4-fused-step"
+      (let pde = Ode.Pde.heat ~rank:2 ~n:48 ~alpha:1.0 in
+       let variant = Offsite.Variant.fused Ode.Tableau.rk4 pde ~h:1e-5 in
+       let ex = Offsite.Executor.create pde variant in
+       Staged.stage (fun () -> Offsite.Executor.step ex)) ]
+
+let run () =
+  let benchmark test =
+    Benchmark.all
+      (Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ())
+      Instance.[ minor_allocated; major_allocated; monotonic_clock ]
+      test
+  in
+  let results =
+    List.map
+      (fun test ->
+        let results = benchmark test in
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true
+                       ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results)
+      tests
+  in
+  List.iter2
+    (fun test result ->
+      Hashtbl.iter
+        (fun _ ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+              Printf.printf "%-24s %12.1f ns/run\n"
+                (Test.Elt.name (List.hd (Test.elements test)))
+                est
+          | _ -> ())
+        result)
+    tests results

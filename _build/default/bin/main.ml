@@ -1,0 +1,435 @@
+(* yasksite command-line interface: describe machines and kernels, run
+   the analytic model, measure on the simulated machine, autotune, and
+   rank ODE implementation variants. *)
+open Cmdliner
+open Yasksite
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing                                             *)
+
+let machine_of_string ~scale name =
+  let base =
+    if Filename.check_suffix name ".machine" then
+      match Machine_file.load name with
+      | Ok m -> Ok m
+      | Error e -> Error (`Msg (name ^ ": " ^ e))
+    else begin
+      match String.lowercase_ascii name with
+      | "clx" | "cascadelake" | "cascade-lake" -> Ok Machine.cascade_lake
+      | "rome" -> Ok Machine.rome
+      | "test" | "testchip" -> Ok Machine.test_chip
+      | _ ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown machine %S (clx|rome|test, or a *.machine file)"
+                 name))
+    end
+  in
+  Result.map
+    (fun m -> if scale > 1 then Machine.scaled ~factor:scale m else m)
+    base
+
+let dims_of_string s =
+  try
+    let parts = String.split_on_char 'x' s in
+    let dims = Array.of_list (List.map int_of_string parts) in
+    if Array.length dims < 1 || Array.length dims > 3 then
+      Error (`Msg "dims must have rank 1..3")
+    else Ok dims
+  with _ -> Error (`Msg (Printf.sprintf "cannot parse dims %S (e.g. 96x96x96)" s))
+
+let machine_arg =
+  let doc =
+    "Target machine: clx (Cascade Lake), rome (AMD Rome), test, or a path \
+     to a *.machine description file."
+  in
+  Arg.(value & opt string "clx" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+
+let scale_arg =
+  let doc =
+    "Shrink the machine's caches by this factor (simulation scale); use 1 \
+     for the full-size machine (model-only commands)."
+  in
+  Arg.(value & opt int 8 & info [ "scale" ] ~docv:"N" ~doc)
+
+let stencil_arg =
+  let doc = "Stencil name from the suite (see the stencils command)." in
+  Arg.(value & opt string "heat-3d-7pt" & info [ "s"; "stencil" ] ~docv:"NAME" ~doc)
+
+let expr_arg =
+  let doc =
+    "Custom stencil expression instead of a suite stencil, e.g. \
+     \"0.25*(f0(x-1)+f0(x+1))+0.5*f0(x)\" (rank inferred from --dims)."
+  in
+  Arg.(value & opt (some string) None & info [ "expr" ] ~docv:"EXPR" ~doc)
+
+let dims_arg =
+  let doc = "Grid dimensions, e.g. 96x96x96 (slowest dimension first)." in
+  Arg.(value & opt string "64x64x64" & info [ "d"; "dims" ] ~docv:"DIMS" ~doc)
+
+let threads_arg =
+  let doc = "Active cores." in
+  Arg.(value & opt int 1 & info [ "t"; "threads" ] ~docv:"N" ~doc)
+
+let block_arg =
+  let doc = "Spatial block extents, e.g. 0x16x128 (0 = unblocked dim)." in
+  Arg.(value & opt (some string) None & info [ "block" ] ~docv:"DIMS" ~doc)
+
+let fold_arg =
+  let doc = "Vector fold extents, e.g. 1x2x4 (product = SIMD lanes)." in
+  Arg.(value & opt (some string) None & info [ "fold" ] ~docv:"DIMS" ~doc)
+
+let wavefront_arg =
+  let doc = "Temporal (wavefront) blocking depth." in
+  Arg.(value & opt int 1 & info [ "wavefront"; "wf" ] ~docv:"N" ~doc)
+
+let nt_arg =
+  let doc = "Use non-temporal (streaming) stores for the output." in
+  Arg.(value & flag & info [ "nt"; "streaming-stores" ] ~doc)
+
+let ( let* ) = Result.bind
+
+let build_config ~block ~fold ~wavefront ~threads ~streaming_stores =
+  let parse_opt = function
+    | None -> Ok None
+    | Some s -> Result.map (fun d -> Some d) (dims_of_string s)
+  in
+  let* block = parse_opt block in
+  let* fold = parse_opt fold in
+  try Ok (Config.v ?block ?fold ~wavefront ~threads ~streaming_stores ())
+  with Invalid_argument m -> Error (`Msg m)
+
+let build_kernel ?expr ~machine ~scale ~stencil ~dims () =
+  let* m = machine_of_string ~scale machine in
+  let* dims = dims_of_string dims in
+  let* spec =
+    match expr with
+    | Some src -> (
+        match
+          Stencil.Parser.parse_spec ~name:"custom" ~rank:(Array.length dims)
+            src
+        with
+        | Ok s -> Ok s
+        | Error msg -> Error (`Msg ("cannot parse --expr: " ^ msg)))
+    | None -> (
+        match Stencil.Suite.find stencil with
+        | s -> Ok (Stencil.Suite.resolve_defaults s)
+        | exception Not_found ->
+            Error (`Msg (Printf.sprintf "unknown stencil %S" stencil)))
+  in
+  try Ok (kernel ~machine:m ~dims spec)
+  with Invalid_argument m -> Error (`Msg m)
+
+let or_die = function
+  | Ok x -> x
+  | Error (`Msg m) ->
+      prerr_endline ("yasksite: " ^ m);
+      exit 2
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+
+let machines_cmd =
+  let run () =
+    List.iter
+      (fun m ->
+        Yasksite_util.Table.print (Machine.describe m);
+        print_newline ())
+      [ Machine.cascade_lake; Machine.rome; Machine.test_chip ]
+  in
+  Cmd.v (Cmd.info "machines" ~doc:"Describe the built-in machine models")
+    Term.(const run $ const ())
+
+let stencils_cmd =
+  let show =
+    let doc = "Also print the generated C-like kernel of this stencil." in
+    Arg.(value & opt (some string) None & info [ "show" ] ~docv:"NAME" ~doc)
+  in
+  let run show =
+    let tbl =
+      Yasksite_util.Table.create ~title:"Stencil suite"
+        ~columns:
+          (List.map
+             (fun c -> (c, Yasksite_util.Table.Left))
+             [ "name"; "rank"; "shape"; "radius"; "flops"; "loads";
+               "B_c [B/LUP]"; "intensity" ])
+        ()
+    in
+    List.iter
+      (fun s ->
+        Yasksite_util.Table.add_row tbl
+          (Stencil.Analysis.describe (Stencil.Analysis.of_spec s)))
+      Stencil.Suite.all;
+    Yasksite_util.Table.print tbl;
+    match show with
+    | None -> ()
+    | Some name ->
+        let s =
+          or_die (build_kernel ~machine:"test" ~scale:1 ~stencil:name
+                    ~dims:"8x8x8" ())
+        in
+        ignore s;
+        print_newline ();
+        print_string
+          (Stencil.Spec.to_c
+             (Stencil.Suite.resolve_defaults (Stencil.Suite.find name)))
+  in
+  Cmd.v (Cmd.info "stencils" ~doc:"List the stencil suite and its analysis")
+    Term.(const run $ show)
+
+let predict_cmd =
+  let verbose =
+    let doc = "Show the full model derivation (kerncraft-style report)." in
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+  in
+  let run machine scale stencil expr dims threads block fold wavefront nt
+      verbose =
+    let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
+    let config =
+      or_die (build_config ~block ~fold ~wavefront ~threads ~streaming_stores:nt)
+    in
+    let p = predict k ~config in
+    if verbose then begin
+      print_string (Model.explain k.machine k.info p);
+      exit 0
+    end;
+    print_endline (Model.summary p);
+    let tbl =
+      Yasksite_util.Table.create ~title:"Layer conditions / traffic"
+        ~columns:
+          [ ("boundary", Yasksite_util.Table.Left);
+            ("condition", Yasksite_util.Table.Left);
+            ("lines/CL", Yasksite_util.Table.Right);
+            ("B/LUP", Yasksite_util.Table.Right);
+            ("T_data [cy/CL]", Yasksite_util.Table.Right) ]
+        ()
+    in
+    Array.iteri
+      (fun i (b : Lc.boundary) ->
+        let cond =
+          match b.Lc.condition with
+          | Lc.All_fits -> "fits"
+          | Lc.Outer_reuse -> "3D-LC holds"
+          | Lc.Row_reuse -> "2D-LC holds"
+          | Lc.No_reuse -> "broken"
+        in
+        Yasksite_util.Table.add_row tbl
+          [ b.Lc.level_name ^ "<->next"; cond;
+            Yasksite_util.Table.cell_f b.Lc.lines_per_cl;
+            Yasksite_util.Table.cell_f b.Lc.bytes_per_lup;
+            Yasksite_util.Table.cell_f p.Model.t_data.(i) ])
+      p.Model.boundaries;
+    Yasksite_util.Table.print tbl
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"Evaluate the ECM model for a kernel configuration (no execution)")
+    Term.(
+      const run $ machine_arg $ scale_arg $ stencil_arg $ expr_arg $ dims_arg
+      $ threads_arg $ block_arg $ fold_arg $ wavefront_arg $ nt_arg $ verbose)
+
+let run_cmd =
+  let run machine scale stencil expr dims threads block fold wavefront nt =
+    let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
+    let config =
+      or_die (build_config ~block ~fold ~wavefront ~threads ~streaming_stores:nt)
+    in
+    print_string (report k ~config)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Measure a kernel configuration on the simulated machine and \
+             compare with the prediction")
+    Term.(
+      const run $ machine_arg $ scale_arg $ stencil_arg $ expr_arg $ dims_arg
+      $ threads_arg $ block_arg $ fold_arg $ wavefront_arg $ nt_arg)
+
+let tune_cmd =
+  let top =
+    let doc = "How many top-ranked configurations to list." in
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let run machine scale stencil expr dims threads top =
+    let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
+    let ranked = Advisor.rank_all k.machine k.info ~dims:k.dims ~threads in
+    let tbl =
+      Yasksite_util.Table.create
+        ~title:(Printf.sprintf "Analytic ranking (top %d of %d)" top
+                  (List.length ranked))
+        ~columns:
+          [ ("#", Yasksite_util.Table.Right);
+            ("config", Yasksite_util.Table.Left);
+            ("pred GLUP/s", Yasksite_util.Table.Right) ]
+        ()
+    in
+    List.iteri
+      (fun i (c, p) ->
+        if i < top then
+          Yasksite_util.Table.add_row tbl
+            [ string_of_int (i + 1); Config.describe c;
+              Yasksite_util.Table.cell_f (p.Model.lups_chip /. 1e9) ])
+      ranked;
+    Yasksite_util.Table.print tbl;
+    match ranked with
+    | (best, _) :: _ ->
+        print_newline ();
+        print_string (report k ~config:best)
+    | [] -> ()
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Rank the tuning space analytically and validate the winner")
+    Term.(
+      const run $ machine_arg $ scale_arg $ stencil_arg $ expr_arg $ dims_arg
+      $ threads_arg $ top)
+
+let scheme_name = function
+  | `Unfused -> "unfused"
+  | `Fused -> "fused"
+  | `Mixed mask ->
+      "mixed:"
+      ^ String.concat ""
+          (Array.to_list (Array.map (fun b -> if b then "f" else "u") mask))
+
+let ode_cmd =
+  let method_arg =
+    let doc = "Explicit method name (euler, heun2, rk4, kutta38, dopri5...)." in
+    Arg.(value & opt string "rk4" & info [ "method" ] ~docv:"NAME" ~doc)
+  in
+  let pde_arg =
+    let doc = "PDE problem: heat1d, heat2d, heat3d or advection1d." in
+    Arg.(value & opt string "heat2d" & info [ "pde" ] ~docv:"NAME" ~doc)
+  in
+  let n_arg =
+    let doc = "Interior grid points per dimension." in
+    Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let run machine scale mname pname n threads =
+    let m = or_die (machine_of_string ~scale machine) in
+    let tab =
+      match Ode.Tableau.find mname with
+      | t -> t
+      | exception Not_found -> or_die (Error (`Msg ("unknown method " ^ mname)))
+    in
+    let pde =
+      match pname with
+      | "heat1d" -> Ode.Pde.heat ~rank:1 ~n ~alpha:1.0
+      | "heat2d" -> Ode.Pde.heat ~rank:2 ~n ~alpha:1.0
+      | "heat3d" -> Ode.Pde.heat ~rank:3 ~n ~alpha:1.0
+      | "advection1d" -> Ode.Pde.advection_1d ~n ~velocity:1.0
+      | _ -> or_die (Error (`Msg ("unknown pde " ^ pname)))
+    in
+    let h = 1e-5 in
+    let candidates = Offsite.evaluate m pde tab ~h ~threads in
+    let tbl =
+      Yasksite_util.Table.create
+        ~title:
+          (Printf.sprintf "Offsite variants: %s on %s, %s, %d threads" mname
+             pde.Ode.Pde.name m.Machine.name threads)
+        ~columns:
+          [ ("variant", Yasksite_util.Table.Left);
+            ("tuned", Yasksite_util.Table.Left);
+            ("sweeps", Yasksite_util.Table.Right);
+            ("pred ms/step", Yasksite_util.Table.Right);
+            ("meas ms/step", Yasksite_util.Table.Right);
+            ("err", Yasksite_util.Table.Right) ]
+        ()
+    in
+    List.iter
+      (fun (c : Offsite.candidate) ->
+        Yasksite_util.Table.add_row tbl
+          [ scheme_name c.variant.Offsite.Variant.scheme;
+            (if c.tuned then "yes" else "no");
+            string_of_int (Offsite.Variant.sweeps_per_step c.variant);
+            Yasksite_util.Table.cell_f (1e3 *. c.predicted_step_seconds);
+            Yasksite_util.Table.cell_f (1e3 *. c.measured_step_seconds);
+            Yasksite_util.Table.cell_pct
+              (Yasksite_util.Stats.rel_error
+                 ~predicted:c.predicted_step_seconds
+                 ~measured:c.measured_step_seconds) ])
+      candidates;
+    Yasksite_util.Table.print tbl;
+    let q = Offsite.quality candidates in
+    Printf.printf
+      "ranking: kendall tau %.2f, top-1 %s, speedup of selected vs naive \
+       %.2fx, mean |err| %.1f%%\n"
+      q.Offsite.kendall
+      (if q.Offsite.top1 then "correct" else "WRONG")
+      q.Offsite.speedup_selected
+      (100.0 *. q.Offsite.mean_abs_error)
+  in
+  Cmd.v
+    (Cmd.info "ode"
+       ~doc:"Rank ODE implementation variants (the Offsite integration)")
+    Term.(
+      const run $ machine_arg $ scale_arg $ method_arg $ pde_arg $ n_arg
+      $ threads_arg)
+
+let methods_cmd =
+  let pde_arg =
+    let doc = "PDE problem: heat1d, heat2d or heat3d." in
+    Arg.(value & opt string "heat2d" & info [ "pde" ] ~docv:"NAME" ~doc)
+  in
+  let n_arg =
+    let doc = "Interior grid points per dimension." in
+    Arg.(value & opt int 128 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let run machine scale pname n threads =
+    let m = or_die (machine_of_string ~scale machine) in
+    let pde =
+      match pname with
+      | "heat1d" -> Ode.Pde.heat ~rank:1 ~n ~alpha:1.0
+      | "heat2d" -> Ode.Pde.heat ~rank:2 ~n ~alpha:1.0
+      | "heat3d" -> Ode.Pde.heat ~rank:3 ~n ~alpha:1.0
+      | _ -> or_die (Error (`Msg ("unknown pde " ^ pname)))
+    in
+    let methods =
+      [ Ode.Tableau.euler; Ode.Tableau.heun2; Ode.Tableau.kutta3;
+        Ode.Tableau.rk4; Ode.Tableau.dopri5 ]
+    in
+    let choices = Offsite.rank_methods m pde methods ~threads in
+    let tbl =
+      Yasksite_util.Table.create
+        ~title:
+          (Printf.sprintf
+             "Method ranking (stability-limited) on %s, %d threads"
+             m.Machine.name threads)
+        ~columns:
+          [ ("method", Yasksite_util.Table.Left);
+            ("order", Yasksite_util.Table.Right);
+            ("h_stable", Yasksite_util.Table.Right);
+            ("variant", Yasksite_util.Table.Left);
+            ("pred s/unit", Yasksite_util.Table.Right);
+            ("meas s/unit", Yasksite_util.Table.Right) ]
+        ()
+    in
+    List.iter
+      (fun (c : Offsite.method_choice) ->
+        Yasksite_util.Table.add_row tbl
+          [ c.Offsite.tableau.Ode.Tableau.name;
+            string_of_int c.Offsite.tableau.Ode.Tableau.order;
+            Printf.sprintf "%.2e" c.Offsite.h_stable;
+            scheme_name
+              c.Offsite.candidate.Offsite.variant.Offsite.Variant.scheme;
+            Yasksite_util.Table.cell_f c.Offsite.predicted_time_per_unit;
+            Yasksite_util.Table.cell_f c.Offsite.measured_time_per_unit ])
+      choices;
+    Yasksite_util.Table.print tbl
+  in
+  Cmd.v
+    (Cmd.info "methods"
+       ~doc:"Rank explicit methods by stability-limited cost per simulated \
+             second (Offsite's cross-method selection)")
+    Term.(const run $ machine_arg $ scale_arg $ pde_arg $ n_arg $ threads_arg)
+
+let () =
+  let info =
+    Cmd.info "yasksite" ~version:Yasksite.version
+      ~doc:"Stencil optimization with the ECM model (CGO 2021 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ machines_cmd; stencils_cmd; predict_cmd; run_cmd; tune_cmd;
+            ode_cmd; methods_cmd ]))

@@ -1,0 +1,1 @@
+examples/blocking_advisor.ml: Array Config Lc List Machine Model Printf Stencil Yasksite Yasksite_engine Yasksite_util

@@ -1,0 +1,1 @@
+examples/machine_explorer.ml: Advisor Array Cache_level Config List Machine Model Printf Stencil Yasksite Yasksite_util

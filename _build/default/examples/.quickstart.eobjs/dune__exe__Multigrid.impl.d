@@ -1,0 +1,1 @@
+examples/multigrid.ml: Array Config Engine List Machine Model Printf Stencil Yasksite

@@ -1,0 +1,1 @@
+examples/ode_offsite.ml: List Machine Ode Offsite Printf Yasksite Yasksite_util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Machine Model Printf Stencil Yasksite

@@ -1,0 +1,1 @@
+examples/wavefront_demo.ml: Config Engine List Machine Model Printf Stencil Yasksite Yasksite_engine Yasksite_util

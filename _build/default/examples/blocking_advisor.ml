@@ -1,0 +1,55 @@
+(* Spatial blocking and layer conditions: sweep the y-block size of a
+   3D 7-point stencil, showing where the analytic layer conditions
+   predict traffic steps and how measured performance follows.
+
+   Run with: dune exec examples/blocking_advisor.exe *)
+open Yasksite
+module Table = Yasksite_util.Table
+
+let () =
+  let machine = Machine.scaled ~factor:8 Machine.cascade_lake in
+  let spec = Stencil.Suite.resolve_defaults Stencil.Suite.heat_3d_7pt in
+  let dims = [| 64; 96; 96 |] in
+  let k = kernel ~machine ~dims spec in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "heat-3d-7pt on %s, grid 64x96x96, 1 thread"
+           machine.Machine.name)
+      ~columns:
+        [ ("block", Table.Left); ("L2 condition", Table.Left);
+          ("pred B/LUP mem", Table.Right); ("pred MLUP/s", Table.Right);
+          ("meas MLUP/s", Table.Right); ("err", Table.Right) ]
+      ()
+  in
+  let configs =
+    Config.v ()
+    :: List.map
+         (fun by -> Config.v ~block:[| 0; by; 96 |] ())
+         [ 4; 8; 16; 32; 64 ]
+  in
+  List.iter
+    (fun config ->
+      let p = predict k ~config in
+      let m = measure k ~config in
+      let cond =
+        match p.Model.boundaries.(1).Lc.condition with
+        | Lc.All_fits -> "fits"
+        | Lc.Outer_reuse -> "3D-LC holds"
+        | Lc.Row_reuse -> "2D-LC holds"
+        | Lc.No_reuse -> "broken"
+      in
+      Table.add_row tbl
+        [ Config.describe config; cond;
+          Table.cell_f p.Model.mem_bytes_per_lup;
+          Table.cell_f (p.Model.lups_single /. 1e6);
+          Table.cell_f (m.Yasksite_engine.Measure.lups_core /. 1e6);
+          Table.cell_pct
+            (Yasksite_util.Stats.rel_error ~predicted:p.Model.lups_single
+               ~measured:m.Yasksite_engine.Measure.lups_core) ])
+    configs;
+  Table.print tbl;
+  let best, p = autotune k ~threads:1 in
+  Printf.printf "\nAdvisor's pick: %s -> predicted %.0f MLUP/s\n"
+    (Config.describe best)
+    (p.Model.lups_chip /. 1e6)

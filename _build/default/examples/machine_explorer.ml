@@ -1,0 +1,81 @@
+(* Design-space exploration with the analytic model: because YaskSite
+   predicts performance without running code, it can answer "what if the
+   machine were different?" questions — here: how does heat-3d-7pt
+   respond to L2 capacity, memory bandwidth, and SIMD width variations
+   of a Cascade-Lake-like chip? No simulation involved; every number is
+   a pure model evaluation.
+
+   Run with: dune exec examples/machine_explorer.exe *)
+open Yasksite
+module Table = Yasksite_util.Table
+
+let base = Machine.cascade_lake
+
+let spec = Stencil.Suite.resolve_defaults Stencil.Suite.heat_3d_7pt
+
+let info = Stencil.Analysis.of_spec spec
+
+let dims = [| 512; 512; 512 |]
+
+let predict machine threads =
+  let p = Model.predict machine info ~dims ~config:(Config.v ~threads ()) in
+  (p.Model.lups_chip /. 1e9, p.Model.saturation_cores)
+
+let with_l2 factor =
+  let caches =
+    Array.to_list
+      (Array.map
+         (fun (l : Cache_level.t) ->
+           if l.Cache_level.name = "L2" then
+             { l with Cache_level.size_bytes = l.Cache_level.size_bytes * factor }
+           else l)
+         base.Machine.caches)
+  in
+  Machine.v
+    ~name:(Printf.sprintf "CLX-L2x%d" factor)
+    ~vendor:base.Machine.vendor ~freq_ghz:base.Machine.freq_ghz
+    ~cores:base.Machine.cores ~simd:base.Machine.simd ~caches
+    ~mem_bw_chip_gbs:base.Machine.mem_bw_chip_gbs
+    ~mem_latency_cycles:base.Machine.mem_latency_cycles
+    ~overlap:base.Machine.overlap
+
+let with_bw gbs = { base with Machine.name = Printf.sprintf "CLX-%.0fGB/s" gbs;
+                    mem_bw_chip_gbs = gbs }
+
+let () =
+  let tbl =
+    Table.create
+      ~title:"What-if analysis: heat-3d-7pt, 512^3 grid, 20 threads (model only)"
+      ~columns:
+        [ ("machine variant", Table.Left); ("chip GLUP/s", Table.Right);
+          ("saturation cores", Table.Right) ]
+      ()
+  in
+  let row m =
+    let lups, sat = predict m 20 in
+    Table.add_row tbl
+      [ m.Machine.name; Table.cell_f lups; string_of_int sat ]
+  in
+  row base;
+  row (with_l2 2);
+  row (with_l2 4);
+  row (with_bw 140.0);
+  row (with_bw 210.0);
+  Table.print tbl;
+  (* Where does blocking stop mattering as L2 grows? *)
+  print_newline ();
+  let tbl2 =
+    Table.create ~title:"Best analytic config per machine variant (1 thread)"
+      ~columns:
+        [ ("machine variant", Table.Left); ("advisor's config", Table.Left);
+          ("pred MLUP/s", Table.Right) ]
+      ()
+  in
+  List.iter
+    (fun m ->
+      let cfg, p = Advisor.best m info ~dims ~threads:1 in
+      Table.add_row tbl2
+        [ m.Machine.name; Config.describe cfg;
+          Table.cell_f ~prec:0 (p.Model.lups_chip /. 1e6) ])
+    [ base; with_l2 4; with_bw 210.0 ];
+  Table.print tbl2

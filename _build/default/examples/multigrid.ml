@@ -1,0 +1,166 @@
+(* A geometric multigrid Poisson solver built on the YaskSite public
+   API: weighted-Jacobi smoothing, residual evaluation, restriction and
+   prolongation are all stencil sweeps through the engine, so the same
+   kernels can be predicted, tuned and measured like any other. Solves
+   -u'' = f on (0,1) with homogeneous Dirichlet boundaries and verifies
+   against the analytic solution, then asks the ECM model where the
+   smoother's time goes across the grid hierarchy.
+
+   Run with: dune exec examples/multigrid.exe *)
+open Yasksite
+module Grid = Yasksite.Grid
+module Sweep = Engine.Sweep
+
+let pi = 4.0 *. atan 1.0
+
+(* Kernels (1D, resolved coefficients). [h2] is dx^2 of the level. *)
+
+let jacobi_spec ~h2 ~omega =
+  (* u' = (1-w) u + w/2 (u_l + u_r + h^2 f): fields u (0) and f (1). *)
+  let open Stencil.Dsl in
+  Stencil.Spec.v ~name:"mg-jacobi" ~rank:1 ~n_fields:2
+    ((c (1.0 -. omega) *: fld [ 0 ])
+    +: (c (omega /. 2.0)
+       *: (fld [ -1 ] +: fld [ 1 ] +: (c h2 *: fld ~field:1 [ 0 ]))))
+
+let residual_spec ~h2 =
+  (* r = f - (-u'' ) = f + (u_l - 2u + u_r)/h^2 *)
+  let open Stencil.Dsl in
+  Stencil.Spec.v ~name:"mg-residual" ~rank:1 ~n_fields:2
+    (fld ~field:1 [ 0 ]
+    +: (c (1.0 /. h2)
+       *: (fld [ -1 ] -: (c 2.0 *: fld [ 0 ]) +: fld [ 1 ])))
+
+(* Full-weighting restriction: coarse_i = (r_{2i} + 2 r_{2i+1} + r_{2i+2})/4
+   expressed as a stride-2 gather — done point-wise on the coarse grid. *)
+let restrict ~fine ~coarse =
+  Grid.iter_interior coarse ~f:(fun idx ->
+      let i = idx.(0) in
+      let v =
+        (Grid.get fine [| 2 * i |]
+        +. (2.0 *. Grid.get fine [| (2 * i) + 1 |])
+        +. Grid.get fine [| (2 * i) + 2 |])
+        /. 4.0
+      in
+      Grid.set coarse idx v)
+
+(* Linear prolongation and correction: u_fine += P e_coarse. *)
+let prolong_add ~coarse ~fine =
+  Grid.iter_interior fine ~f:(fun idx ->
+      let i = idx.(0) in
+      let e =
+        if i mod 2 = 1 then Grid.get coarse [| i / 2 |]
+        else begin
+          let left = if i = 0 then 0.0 else Grid.get coarse [| (i / 2) - 1 |] in
+          let right =
+            if i / 2 >= (Grid.dims coarse).(0) then 0.0
+            else Grid.get coarse [| i / 2 |]
+          in
+          0.5 *. (left +. right)
+        end
+      in
+      Grid.set fine idx (Grid.get fine idx +. e))
+
+type level = {
+  n : int;
+  h2 : float;
+  u : Grid.t;
+  f : Grid.t;
+  r : Grid.t;
+  scratch : Grid.t;
+  jacobi : Stencil.Spec.t;
+  residual : Stencil.Spec.t;
+}
+
+let make_level n =
+  let h = 1.0 /. float_of_int (n + 1) in
+  let halo = [| 1 |] in
+  let mk () =
+    let g = Grid.create ~halo ~dims:[| n |] () in
+    Grid.halo_dirichlet g 0.0;
+    g
+  in
+  { n;
+    h2 = h *. h;
+    u = mk ();
+    f = mk ();
+    r = mk ();
+    scratch = mk ();
+    jacobi = jacobi_spec ~h2:(h *. h) ~omega:(2.0 /. 3.0);
+    residual = residual_spec ~h2:(h *. h) }
+
+let smooth level ~sweeps =
+  for _ = 1 to sweeps do
+    ignore
+      (Sweep.run level.jacobi
+         ~inputs:[| level.u; level.f |]
+         ~output:level.scratch
+        : Sweep.stats);
+    Grid.copy_interior ~src:level.scratch ~dst:level.u
+  done
+
+let compute_residual level =
+  ignore
+    (Sweep.run level.residual
+       ~inputs:[| level.u; level.f |]
+       ~output:level.r
+      : Sweep.stats)
+
+let rec v_cycle levels =
+  match levels with
+  | [] -> ()
+  | [ coarsest ] ->
+      (* n = 3: a few dozen Jacobi sweeps are an exact solve. *)
+      smooth coarsest ~sweeps:60
+  | fine :: (coarse :: _ as rest) ->
+      smooth fine ~sweeps:3;
+      compute_residual fine;
+      restrict ~fine:fine.r ~coarse:coarse.f;
+      Grid.fill coarse.u ~f:(fun _ -> 0.0);
+      v_cycle rest;
+      prolong_add ~coarse:coarse.u ~fine:fine.u;
+      smooth fine ~sweeps:3
+
+let () =
+  (* Hierarchy: 511 -> 255 -> ... -> 3 interior points. *)
+  let sizes = [ 511; 255; 127; 63; 31; 15; 7; 3 ] in
+  let levels = List.map make_level sizes in
+  let finest = List.hd levels in
+  (* Problem: -u'' = pi^2 sin(pi x), exact u = sin(pi x). *)
+  let h = 1.0 /. float_of_int (finest.n + 1) in
+  Grid.fill finest.f ~f:(fun idx ->
+      let x = float_of_int (idx.(0) + 1) *. h in
+      pi *. pi *. sin (pi *. x));
+  let exact idx =
+    let x = float_of_int (idx.(0) + 1) *. h in
+    sin (pi *. x)
+  in
+  let error () =
+    let worst = ref 0.0 in
+    Grid.iter_interior finest.u ~f:(fun idx ->
+        worst := max !worst (abs_float (Grid.get finest.u idx -. exact idx)));
+    !worst
+  in
+  Printf.printf "V-cycle convergence (weighted Jacobi 3+3, 8 levels):\n";
+  for cycle = 1 to 8 do
+    v_cycle levels;
+    Printf.printf "  cycle %d: max error vs exact = %.3e\n" cycle (error ())
+  done;
+
+  (* Where does smoothing time go? Ask the model per level. *)
+  let machine = Machine.scaled ~factor:8 Machine.cascade_lake in
+  Printf.printf
+    "\nECM view of the Jacobi smoother across the hierarchy (1 core, %s):\n"
+    machine.Machine.name;
+  let show n spec =
+    let k = kernel ~machine ~dims:[| n |] spec in
+    let p = predict k ~config:(Config.v ()) in
+    Printf.printf "  n=%7d: %6.0f MLUP/s predicted, %4.1f B/LUP from memory\n"
+      n
+      (p.Model.lups_single /. 1e6)
+      p.Model.mem_bytes_per_lup
+  in
+  List.iter (fun level -> show level.n level.jacobi) levels;
+  (* Contrast: at production resolutions the smoother leaves the cache
+     and becomes a bandwidth problem — exactly what YaskSite tunes. *)
+  show (1 lsl 21) (jacobi_spec ~h2:1e-12 ~omega:(2.0 /. 3.0))

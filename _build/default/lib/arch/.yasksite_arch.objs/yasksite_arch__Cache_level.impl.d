@@ -1,0 +1,1 @@
+lib/arch/cache_level.ml: Format Yasksite_util

@@ -1,0 +1,1 @@
+lib/arch/machine.ml: Array Cache_level Format Printf Table Units Yasksite_util

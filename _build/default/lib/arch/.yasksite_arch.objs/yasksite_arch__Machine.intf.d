@@ -1,0 +1,1 @@
+lib/arch/machine.mli: Cache_level Format Yasksite_util

@@ -1,0 +1,1 @@
+lib/arch/machine_file.ml: Array Buffer Cache_level In_channel List Machine Printf Result String

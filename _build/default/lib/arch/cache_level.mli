@@ -1,0 +1,58 @@
+(** Description of one level of a CPU cache hierarchy.
+
+    Sizes and associativity drive both the analytic layer-condition
+    analysis (ECM) and the trace-driven cache simulator; the transfer
+    bandwidth drives the per-level data-transfer terms of the ECM model. *)
+
+type fill_policy =
+  | Inclusive  (** fills propagate into this level on a miss below it *)
+  | Victim
+      (** exclusive / victim cache: filled only by evictions from the
+          level above (AMD-Rome-style L3) *)
+
+type t = {
+  name : string;  (** e.g. "L1", "L2", "L3" *)
+  size_bytes : int;  (** capacity visible to one core's accesses *)
+  assoc : int;  (** set associativity *)
+  line_bytes : int;  (** cache line size *)
+  shared_by : int;  (** number of cores sharing this level (1 = private) *)
+  bytes_per_cycle : float;
+      (** sustained transfer bandwidth between this level and the level
+          above it (towards the core), per core, in bytes per cycle *)
+  latency_cycles : float;
+      (** access latency (informational: throughput-oriented streaming
+          kernels hide it behind prefetch; reserved for latency-bound
+          extensions) *)
+  fill : fill_policy;
+}
+
+val v :
+  name:string ->
+  size_bytes:int ->
+  assoc:int ->
+  ?line_bytes:int ->
+  ?shared_by:int ->
+  bytes_per_cycle:float ->
+  latency_cycles:float ->
+  ?fill:fill_policy ->
+  unit ->
+  t
+(** Constructor with validation: sizes positive, size divisible by
+    [assoc * line_bytes]. Defaults: 64-byte lines, private, inclusive. *)
+
+val n_sets : t -> int
+(** Number of sets ([size / (assoc * line)]). *)
+
+val lines : t -> int
+(** Total number of lines. *)
+
+val scale : factor:int -> t -> t
+(** [scale ~factor l] divides the capacity by [factor] (keeping line size
+    and associativity, reducing the number of sets); used to shrink real
+    machines to simulation scale. *)
+
+val per_core_size : t -> int
+(** Capacity divided by the number of sharers — the fair share one core
+    can count on, which is what layer conditions use for shared levels. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,194 @@
+(* Line-oriented key=value parser for machine descriptions. *)
+
+type section = { mutable fields : (string * (string * int)) list }
+
+let parse_lines src =
+  (* Returns (machine_section, cache_sections in order). *)
+  let machine = { fields = [] } in
+  let caches = ref [] in
+  let current = ref machine in
+  let err = ref None in
+  String.split_on_char '\n' src
+  |> List.iteri (fun i line ->
+         let lineno = i + 1 in
+         if !err = None then begin
+           let line =
+             match String.index_opt line '#' with
+             | Some j -> String.sub line 0 j
+             | None -> line
+           in
+           let line = String.trim line in
+           if line = "" then ()
+           else if line = "[cache]" then begin
+             let s = { fields = [] } in
+             caches := s :: !caches;
+             current := s
+           end
+           else begin
+             match String.index_opt line '=' with
+             | None ->
+                 err := Some (Printf.sprintf "line %d: expected key = value" lineno)
+             | Some j ->
+                 let key = String.trim (String.sub line 0 j) in
+                 let value =
+                   String.trim
+                     (String.sub line (j + 1) (String.length line - j - 1))
+                 in
+                 if key = "" || value = "" then
+                   err := Some (Printf.sprintf "line %d: empty key or value" lineno)
+                 else
+                   !current.fields <- (key, (value, lineno)) :: !current.fields
+           end
+         end);
+  match !err with
+  | Some e -> Error e
+  | None -> Ok (machine, List.rev !caches)
+
+let find section key = List.assoc_opt key section.fields
+
+let get_string section key =
+  match find section key with
+  | Some (v, _) -> Ok v
+  | None -> Error (Printf.sprintf "missing key %S" key)
+
+let get_float section key =
+  match find section key with
+  | Some (v, ln) -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "line %d: %S is not a number" ln key))
+  | None -> Error (Printf.sprintf "missing key %S" key)
+
+let get_int section key =
+  match find section key with
+  | Some (v, ln) -> (
+      match int_of_string_opt v with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "line %d: %S is not an integer" ln key))
+  | None -> Error (Printf.sprintf "missing key %S" key)
+
+let get_int_default section key default =
+  match find section key with
+  | None -> Ok default
+  | Some _ -> get_int section key
+
+let ( let* ) = Result.bind
+
+let parse_cache section =
+  let* name = get_string section "name" in
+  let* size_kib = get_int section "size_kib" in
+  let* assoc = get_int section "assoc" in
+  let* bytes_per_cycle = get_float section "bytes_per_cycle" in
+  let* latency_cycles = get_float section "latency_cycles" in
+  let* shared_by = get_int_default section "shared_by" 1 in
+  let* line_bytes = get_int_default section "line_bytes" 64 in
+  let* fill =
+    match find section "fill" with
+    | None -> Ok Cache_level.Inclusive
+    | Some ("inclusive", _) -> Ok Cache_level.Inclusive
+    | Some ("victim", _) -> Ok Cache_level.Victim
+    | Some (v, ln) ->
+        Error (Printf.sprintf "line %d: unknown fill policy %S" ln v)
+  in
+  try
+    Ok
+      (Cache_level.v ~name ~size_bytes:(size_kib * 1024) ~assoc ~line_bytes
+         ~shared_by ~bytes_per_cycle ~latency_cycles ~fill ())
+  with Invalid_argument m -> Error m
+
+let parse src =
+  let* machine_section, cache_sections = parse_lines src in
+  if cache_sections = [] then Error "no [cache] sections"
+  else begin
+    let* name = get_string machine_section "name" in
+    let* vendor =
+      match find machine_section "vendor" with
+      | None -> Ok Machine.Generic
+      | Some ("intel", _) -> Ok Machine.Intel
+      | Some ("amd", _) -> Ok Machine.Amd
+      | Some ("generic", _) -> Ok Machine.Generic
+      | Some (v, ln) -> Error (Printf.sprintf "line %d: unknown vendor %S" ln v)
+    in
+    let* freq_ghz = get_float machine_section "freq_ghz" in
+    let* cores = get_int machine_section "cores" in
+    let* dp_lanes = get_int machine_section "dp_lanes" in
+    let* fma_ports = get_int machine_section "fma_ports" in
+    let* add_ports = get_int_default machine_section "add_ports" fma_ports in
+    let* load_ports = get_int_default machine_section "load_ports" 2 in
+    let* store_ports = get_int_default machine_section "store_ports" 1 in
+    let* mem_bw_chip_gbs = get_float machine_section "mem_bw_gbs" in
+    let* mem_latency_cycles =
+      match find machine_section "mem_latency_cycles" with
+      | None -> Ok 200.0
+      | Some _ -> get_float machine_section "mem_latency_cycles"
+    in
+    let* overlap =
+      match find machine_section "overlap" with
+      | None -> Ok Machine.Serial
+      | Some ("serial", _) -> Ok Machine.Serial
+      | Some ("overlapping", _) -> Ok Machine.Overlapping
+      | Some (v, ln) ->
+          Error (Printf.sprintf "line %d: unknown overlap policy %S" ln v)
+    in
+    let* caches =
+      List.fold_left
+        (fun acc section ->
+          let* acc = acc in
+          let* c = parse_cache section in
+          Ok (c :: acc))
+        (Ok []) cache_sections
+    in
+    try
+      Ok
+        (Machine.v ~name ~vendor ~freq_ghz ~cores
+           ~simd:{ Machine.dp_lanes; fma_ports; add_ports; load_ports;
+                   store_ports }
+           ~caches:(List.rev caches) ~mem_bw_chip_gbs ~mem_latency_cycles
+           ~overlap)
+    with Invalid_argument m -> Error m
+  end
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> parse src
+  | exception Sys_error m -> Error m
+
+let render (m : Machine.t) =
+  let buf = Buffer.create 512 in
+  let kv fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  kv "name = %s" m.name;
+  kv "vendor = %s"
+    (match m.vendor with
+    | Machine.Intel -> "intel"
+    | Machine.Amd -> "amd"
+    | Machine.Generic -> "generic");
+  kv "freq_ghz = %g" m.freq_ghz;
+  kv "cores = %d" m.cores;
+  kv "dp_lanes = %d" m.simd.Machine.dp_lanes;
+  kv "fma_ports = %d" m.simd.Machine.fma_ports;
+  kv "add_ports = %d" m.simd.Machine.add_ports;
+  kv "load_ports = %d" m.simd.Machine.load_ports;
+  kv "store_ports = %d" m.simd.Machine.store_ports;
+  kv "mem_bw_gbs = %g" m.mem_bw_chip_gbs;
+  kv "mem_latency_cycles = %g" m.mem_latency_cycles;
+  kv "overlap = %s"
+    (match m.overlap with
+    | Machine.Serial -> "serial"
+    | Machine.Overlapping -> "overlapping");
+  Array.iter
+    (fun (c : Cache_level.t) ->
+      kv "";
+      kv "[cache]";
+      kv "name = %s" c.name;
+      kv "size_kib = %d" (c.size_bytes / 1024);
+      kv "assoc = %d" c.assoc;
+      kv "line_bytes = %d" c.line_bytes;
+      kv "shared_by = %d" c.shared_by;
+      kv "bytes_per_cycle = %g" c.bytes_per_cycle;
+      kv "latency_cycles = %g" c.latency_cycles;
+      kv "fill = %s"
+        (match c.fill with
+        | Cache_level.Inclusive -> "inclusive"
+        | Cache_level.Victim -> "victim"))
+    m.caches;
+  Buffer.contents buf

@@ -1,0 +1,41 @@
+(** Textual machine-description files, so users can model their own CPU
+    without writing OCaml (the role kerncraft's YAML machine files play
+    for the ECM tool chain).
+
+    Format: line-oriented [key = value] with [#] comments. Machine-level
+    keys first, then one [\[cache\]] section per level, innermost first:
+
+    {v
+      # my-chip.machine
+      name      = MyChip
+      vendor    = intel          # intel | amd | generic
+      freq_ghz  = 3.0
+      cores     = 16
+      dp_lanes  = 8
+      fma_ports = 2
+      add_ports = 2
+      load_ports = 2
+      store_ports = 1
+      mem_bw_gbs = 120
+      mem_latency_cycles = 200
+      overlap   = serial         # serial | overlapping
+
+      [cache]
+      name = L1
+      size_kib = 32
+      assoc = 8
+      bytes_per_cycle = 64
+      latency_cycles = 4
+      # optional: shared_by = 1, fill = inclusive | victim, line_bytes = 64
+    v} *)
+
+val parse : string -> (Machine.t, string) result
+(** Parse a machine description from a string; errors carry the line
+    number. *)
+
+val load : string -> (Machine.t, string) result
+(** Read and parse a file. *)
+
+val render : Machine.t -> string
+(** Render a machine back to the file format ([parse (render m)]
+    reconstructs an equal machine). *)

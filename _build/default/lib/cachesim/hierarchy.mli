@@ -1,0 +1,68 @@
+(** A core's view of the full cache hierarchy, composing {!Level}s
+    according to their fill policies:
+
+    - [Inclusive] levels are filled on every miss path through them and
+      receive write-backs from the level above;
+    - [Victim] levels (AMD-Rome-style L3) are filled only by evictions
+      from the level above; a hit in a victim level moves the line back
+      up and removes it there.
+
+    All writes are write-allocate / write-back. Shared levels are
+    modelled with their per-active-core share of the capacity, which is
+    how the ECM layer-condition analysis treats them too, so simulator
+    and model see the same effective sizes. *)
+
+type t
+
+type counters = {
+  accesses : int;  (** loads + stores issued by the core *)
+  loads : int;
+  stores : int;
+  hits : int array;  (** per level *)
+  misses : int array;  (** per level, counted only when probed *)
+  writebacks : int array;
+      (** dirty evictions leaving each level (towards the next) *)
+  mem_loads : int;  (** lines fetched from memory *)
+  mem_writebacks : int;  (** dirty lines written back to memory *)
+  nt_stores : int;  (** streaming stores issued *)
+  nt_lines : int;  (** lines' worth of streaming data sent to memory *)
+}
+
+val create : ?active_cores:int -> Yasksite_arch.Machine.t -> t
+(** [create m] builds the hierarchy of machine [m] as seen by one core
+    when [active_cores] (default 1) cores are running: each shared
+    level's capacity is divided by [min active_cores shared_by]. *)
+
+val read : t -> addr:int -> unit
+(** Issue a load of the byte at [addr]. *)
+
+val write : t -> addr:int -> unit
+(** Issue a store to the byte at [addr] (write-allocate: may fetch). *)
+
+val write_nt : t -> addr:int -> unit
+(** Non-temporal (streaming) store: the line bypasses the hierarchy and
+    goes straight to memory, without write-allocate. If the line happens
+    to be resident it is updated in place instead (hardware behaviour of
+    MOVNT on a cached line is implementation-defined; updating in place
+    keeps the simulator's data consistent). Each bypassed line's bytes
+    are accumulated and charged to the memory boundary once per line's
+    worth of stores. *)
+
+val counters : t -> counters
+
+val reset_counters : t -> unit
+(** Zero the counters, keeping cache contents (to skip warm-up sweeps). *)
+
+val traffic_lines : t -> level:int -> int
+(** Lines moved between level [level] (0-based, 0 = L1) and the next
+    level out — misses of [level] plus write-backs from [level]. For the
+    last level this is memory traffic. *)
+
+val traffic_bytes : t -> level:int -> int
+
+val line_bytes : t -> int
+
+val levels : t -> int
+
+val flush : t -> unit
+(** Invalidate all contents and reset counters. *)

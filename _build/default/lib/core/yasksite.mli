@@ -1,0 +1,101 @@
+(** YaskSite — stencil optimization with the Execution–Cache–Memory
+    model, applied to explicit ODE methods (OCaml reproduction of the
+    CGO 2021 system).
+
+    This module is the public facade. The typical flow is:
+
+    {[
+      open Yasksite
+
+      (* 1. Describe machine and kernel. *)
+      let machine = Machine.scaled ~factor:8 Machine.cascade_lake
+      let spec = Stencil.Suite.resolve_defaults Stencil.Suite.heat_3d_7pt
+      let k = kernel ~machine ~dims:[| 96; 96; 96 |] spec
+
+      (* 2. Ask the analytic model, without running anything. *)
+      let p = predict k ~config:(Config.v ~threads:8 ())
+
+      (* 3. Let the advisor pick tuning parameters analytically. *)
+      let best, _ = autotune k ~threads:8
+
+      (* 4. Validate on the simulated machine. *)
+      let m = measure k ~config:best
+    ]}
+
+    Submodules re-export the full API of each subsystem library. *)
+
+(** {1 Subsystem re-exports} *)
+
+module Machine = Yasksite_arch.Machine
+module Cache_level = Yasksite_arch.Cache_level
+module Machine_file = Yasksite_arch.Machine_file
+module Grid = Yasksite_grid.Grid
+
+module Stencil : sig
+  module Expr = Yasksite_stencil.Expr
+  module Spec = Yasksite_stencil.Spec
+  module Analysis = Yasksite_stencil.Analysis
+  module Dsl = Yasksite_stencil.Dsl
+  module Suite = Yasksite_stencil.Suite
+  module Compile = Yasksite_stencil.Compile
+  module Gen = Yasksite_stencil.Gen
+  module Parser = Yasksite_stencil.Parser
+end
+
+module Config = Yasksite_ecm.Config
+module Model = Yasksite_ecm.Model
+module Incore = Yasksite_ecm.Incore
+module Lc = Yasksite_ecm.Lc
+module Advisor = Yasksite_ecm.Advisor
+module Cachesim = Yasksite_cachesim.Hierarchy
+
+module Engine : sig
+  module Sweep = Yasksite_engine.Sweep
+  module Wavefront = Yasksite_engine.Wavefront
+  module Measure = Yasksite_engine.Measure
+end
+
+module Tuner = Yasksite_tuner.Tuner
+
+module Ode : sig
+  module Tableau = Yasksite_ode.Tableau
+  module Ivp = Yasksite_ode.Ivp
+  module Rk = Yasksite_ode.Rk
+  module Pde = Yasksite_ode.Pde
+end
+
+module Offsite : sig
+  module Variant = Yasksite_offsite.Variant
+  module Executor = Yasksite_offsite.Executor
+  include module type of Yasksite_offsite.Offsite
+end
+
+(** {1 High-level kernel API} *)
+
+type kernel = private {
+  machine : Machine.t;
+  spec : Yasksite_stencil.Spec.t;
+  info : Yasksite_stencil.Analysis.t;
+  dims : int array;
+}
+
+val kernel :
+  machine:Machine.t -> dims:int array -> Yasksite_stencil.Spec.t -> kernel
+(** Bind a (fully resolved) stencil to a machine and grid size. Raises
+    [Invalid_argument] on rank mismatch or unresolved coefficients. *)
+
+val predict : kernel -> config:Config.t -> Model.prediction
+(** Evaluate the ECM model: no code runs. *)
+
+val measure : kernel -> config:Config.t -> Yasksite_engine.Measure.t
+(** Execute on the simulated machine and report observed performance. *)
+
+val autotune : kernel -> threads:int -> Config.t * Model.prediction
+(** Analytically select the best configuration (the YaskSite pitch:
+    model-driven, zero kernel runs). *)
+
+val report : kernel -> config:Config.t -> string
+(** Human-readable comparison of prediction and measurement for one
+    configuration, including the ECM decomposition and traffic. *)
+
+val version : string

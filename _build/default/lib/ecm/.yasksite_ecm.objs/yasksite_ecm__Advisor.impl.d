@@ -1,0 +1,1 @@
+lib/ecm/advisor.ml: Array Config Hashtbl List Model Yasksite_arch Yasksite_stencil

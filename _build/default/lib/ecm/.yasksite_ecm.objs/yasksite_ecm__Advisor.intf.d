@@ -1,0 +1,1 @@
+lib/ecm/advisor.mli: Config Model Yasksite_arch Yasksite_stencil

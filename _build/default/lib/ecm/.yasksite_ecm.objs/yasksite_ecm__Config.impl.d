@@ -1,0 +1,1 @@
+lib/ecm/config.ml: Array Printf String

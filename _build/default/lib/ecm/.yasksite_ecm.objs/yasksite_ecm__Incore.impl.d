@@ -1,0 +1,1 @@
+lib/ecm/incore.ml: Array List Yasksite_arch Yasksite_stencil

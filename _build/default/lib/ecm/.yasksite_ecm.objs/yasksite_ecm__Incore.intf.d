@@ -1,0 +1,1 @@
+lib/ecm/incore.mli: Yasksite_arch Yasksite_stencil

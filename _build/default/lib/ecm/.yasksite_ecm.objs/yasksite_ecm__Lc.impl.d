@@ -1,0 +1,1 @@
+lib/ecm/lc.ml: Array Config Incore List Yasksite_arch Yasksite_stencil

@@ -1,0 +1,1 @@
+lib/ecm/lc.mli: Config Yasksite_arch Yasksite_stencil

@@ -1,0 +1,1 @@
+lib/ecm/model.ml: Array Buffer Config Incore Lc Printf String Yasksite_arch Yasksite_stencil

@@ -1,0 +1,1 @@
+lib/ecm/model.mli: Config Incore Lc Yasksite_arch Yasksite_stencil

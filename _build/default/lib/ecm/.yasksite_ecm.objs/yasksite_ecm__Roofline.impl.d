@@ -1,0 +1,1 @@
+lib/ecm/roofline.ml: Yasksite_arch Yasksite_stencil

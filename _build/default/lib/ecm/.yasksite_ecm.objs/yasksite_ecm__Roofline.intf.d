@@ -1,0 +1,1 @@
+lib/ecm/roofline.mli: Yasksite_arch Yasksite_stencil

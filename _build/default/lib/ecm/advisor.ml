@@ -1,0 +1,95 @@
+module Machine = Yasksite_arch.Machine
+module Analysis = Yasksite_stencil.Analysis
+
+let dedup_options l =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun o ->
+      if Hashtbl.mem seen o then false
+      else begin
+        Hashtbl.add seen o ();
+        true
+      end)
+    l
+
+let candidate_blocks ~dims =
+  let rank = Array.length dims in
+  let clamp v d = min v d in
+  let blocks =
+    match rank with
+    | 1 -> []
+    | 2 ->
+        (* Stream y (dim 0), block x. *)
+        List.map
+          (fun bx -> [| 0; clamp bx dims.(1) |])
+          [ 64; 128; 256; 512; 1024 ]
+    | _ ->
+        (* Stream z (dim 0), block y and x. *)
+        List.concat_map
+          (fun by ->
+            List.map
+              (fun bx -> [| 0; clamp by dims.(1); clamp bx dims.(2) |])
+              [ 32; 64; 128; 256; 512 ])
+          [ 4; 8; 16; 32; 64 ]
+  in
+  None :: List.map (fun b -> Some b) (dedup_options blocks)
+
+(* All [rank]-tuples of positive ints whose product is [lanes]. *)
+let factorizations lanes rank =
+  let divisors n = List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1)) in
+  let rec go rank lanes =
+    if rank = 1 then [ [ lanes ] ]
+    else
+      List.concat_map
+        (fun d -> List.map (fun rest -> d :: rest) (go (rank - 1) (lanes / d)))
+        (divisors lanes)
+  in
+  List.map Array.of_list (go rank lanes)
+
+let candidate_folds (m : Machine.t) ~rank =
+  let lanes = m.simd.dp_lanes in
+  let folds =
+    factorizations lanes rank
+    (* The trivial all-in-x fold is the linear layout in disguise. Folds
+       along the streamed dimension stay in the space: the model bills
+       their lane waste under wavefront schedules, so they lose fairly. *)
+    |> List.filter (fun f -> f.(rank - 1) <> lanes)
+  in
+  None :: List.map (fun f -> Some f) folds
+
+let candidate_wavefronts = [ 1; 2; 4; 8 ]
+
+(* Streaming stores combine with every spatial option but not with
+   wavefronts (intermediate steps must stay cached for temporal reuse). *)
+let candidate_temporal =
+  [ (1, false); (1, true); (2, false); (4, false); (8, false) ]
+
+let space m ~dims ~threads ~rank =
+  let blocks = candidate_blocks ~dims in
+  let folds = candidate_folds m ~rank in
+  List.concat_map
+    (fun block ->
+      List.concat_map
+        (fun fold ->
+          List.map
+            (fun (wavefront, streaming_stores) ->
+              Config.v ?block ?fold ~wavefront ~threads ~streaming_stores ())
+            candidate_temporal)
+        folds)
+    blocks
+
+let rank_all m (a : Analysis.t) ~dims ~threads =
+  let configs = space m ~dims ~threads ~rank:a.spec.rank in
+  let scored =
+    List.map (fun c -> (c, Model.predict m a ~dims ~config:c)) configs
+  in
+  (* Stable sort keeps enumeration order among ties: simpler first. *)
+  List.stable_sort
+    (fun (_, p1) (_, p2) ->
+      compare p2.Model.lups_chip p1.Model.lups_chip)
+    scored
+
+let best m a ~dims ~threads =
+  match rank_all m a ~dims ~threads with
+  | [] -> invalid_arg "Advisor.best: empty space"
+  | (c, p) :: _ -> (c, p)

@@ -1,0 +1,42 @@
+(** Analytic parameter selection: the heart of YaskSite's pitch.
+
+    Enumerates the tuning space (spatial blocks x vector folds x
+    wavefront depths) and ranks every configuration with the ECM model
+    alone — no kernel is ever executed. An external tuner (Offsite) can
+    call {!best} per kernel and trust the ranking. *)
+
+val candidate_blocks : dims:int array -> int array option list
+(** Spatial block candidates for a grid: [None] (unblocked) plus
+    power-of-two blockings of the non-streamed dimensions, clamped to the
+    grid and de-duplicated. *)
+
+val candidate_folds :
+  Yasksite_arch.Machine.t -> rank:int -> int array option list
+(** [None] (linear layout) plus every factorization of the machine's
+    SIMD width over the grid dimensions (YASK's fold candidates). *)
+
+val candidate_wavefronts : int list
+(** Temporal block depths explored: [[1; 2; 4; 8]]. *)
+
+val space :
+  Yasksite_arch.Machine.t -> dims:int array -> threads:int -> rank:int ->
+  Config.t list
+(** Full cross product of the candidates at a fixed thread count. *)
+
+val best :
+  Yasksite_arch.Machine.t ->
+  Yasksite_stencil.Analysis.t ->
+  dims:int array ->
+  threads:int ->
+  Config.t * Model.prediction
+(** Configuration with the highest predicted chip performance, with its
+    prediction. Ties break towards simpler configurations (earlier in
+    the enumeration). *)
+
+val rank_all :
+  Yasksite_arch.Machine.t ->
+  Yasksite_stencil.Analysis.t ->
+  dims:int array ->
+  threads:int ->
+  (Config.t * Model.prediction) list
+(** Every configuration with its prediction, best first. *)

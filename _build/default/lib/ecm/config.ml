@@ -1,0 +1,69 @@
+type t = {
+  block : int array option;
+  fold : int array option;
+  wavefront : int;
+  threads : int;
+  streaming_stores : bool;
+}
+
+let default =
+  { block = None; fold = None; wavefront = 1; threads = 1;
+    streaming_stores = false }
+
+let v ?block ?fold ?(wavefront = 1) ?(threads = 1) ?(streaming_stores = false)
+    () =
+  (match block with
+  | None -> ()
+  | Some b ->
+      Array.iter
+        (fun x -> if x < 0 then invalid_arg "Config.v: negative block extent")
+        b);
+  (match fold with
+  | None -> ()
+  | Some f ->
+      Array.iter
+        (fun x -> if x <= 0 then invalid_arg "Config.v: non-positive fold")
+        f);
+  if wavefront < 1 then invalid_arg "Config.v: wavefront must be >= 1";
+  if threads < 1 then invalid_arg "Config.v: threads must be >= 1";
+  { block; fold; wavefront; threads; streaming_stores }
+
+let fold_extents t ~rank =
+  match t.fold with
+  | None -> Array.make rank 1
+  | Some f ->
+      if Array.length f <> rank then
+        invalid_arg "Config.fold_extents: rank mismatch";
+      Array.copy f
+
+let block_extents t ~dims =
+  match t.block with
+  | None -> Array.copy dims
+  | Some b ->
+      if Array.length b <> Array.length dims then
+        invalid_arg "Config.block_extents: rank mismatch";
+      let fold = fold_extents t ~rank:(Array.length dims) in
+      Array.mapi
+        (fun i d ->
+          if b.(i) <= 0 || b.(i) >= d then d
+          else begin
+            (* Blocks are aligned to vector-fold boundaries (YASK
+               measures block sizes in fold units); a block cutting fold
+               blocks in half would re-fetch every straddled line. *)
+            let f = fold.(i) in
+            min d ((b.(i) + f - 1) / f * f)
+          end)
+        dims
+
+let dims_str a =
+  String.concat "x" (Array.to_list (Array.map string_of_int a))
+
+let describe t =
+  let block = match t.block with None -> "none" | Some b -> dims_str b in
+  let fold = match t.fold with None -> "linear" | Some f -> dims_str f in
+  Printf.sprintf "b=%s f=%s wf=%d t=%d%s" block fold t.wavefront t.threads
+    (if t.streaming_stores then " nt" else "")
+
+let equal a b =
+  a.block = b.block && a.fold = b.fold && a.wavefront = b.wavefront
+  && a.threads = b.threads && a.streaming_stores = b.streaming_stores

@@ -1,0 +1,41 @@
+(** A kernel configuration: the tuning-parameter vector YaskSite explores
+    for one stencil on one machine. Shared by the analytic model, the
+    execution engine and the tuner so that predictions and measurements
+    refer to the same point of the search space. *)
+
+type t = {
+  block : int array option;
+      (** spatial block extents per dimension ([None] = unblocked); a
+          block extent of 0 or >= the grid extent means "unblocked in
+          that dimension" *)
+  fold : int array option;
+      (** vector-fold extents per dimension ([None] = linear layout);
+          the product should equal the SIMD width in doubles *)
+  wavefront : int;  (** temporal block depth; 1 = no temporal blocking *)
+  threads : int;  (** active cores *)
+  streaming_stores : bool;
+      (** write the output with non-temporal stores, bypassing the cache
+          hierarchy and avoiding write-allocate traffic (YASK's
+          streaming-store option) *)
+}
+
+val default : t
+(** Unblocked, linear layout, no temporal blocking, one thread. *)
+
+val v :
+  ?block:int array -> ?fold:int array -> ?wavefront:int -> ?threads:int ->
+  ?streaming_stores:bool -> unit -> t
+(** Constructor with validation: positive extents, [wavefront >= 1],
+    [threads >= 1]. Streaming stores default to off. *)
+
+val block_extents : t -> dims:int array -> int array
+(** Effective block extents clamped to the grid: unblocked dimensions get
+    the full extent. *)
+
+val fold_extents : t -> rank:int -> int array
+(** Fold extents, all ones if linear. *)
+
+val describe : t -> string
+(** Compact one-line rendering, e.g. ["b=64x16x512 f=1x2x4 wf=4 t=8"]. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,73 @@
+module Machine = Yasksite_arch.Machine
+module Analysis = Yasksite_stencil.Analysis
+module Expr = Yasksite_stencil.Expr
+
+type t = {
+  t_ol : float;
+  t_nol : float;
+  vector_loads : float;
+  vector_stores : float;
+  shuffles : float;
+  fma : int;
+  adds : int;
+  muls : int;
+}
+
+let lups_per_cl (m : Machine.t) = Machine.line_bytes m / 8
+
+(* Cost of one vectorized double-precision division (cycles per vector). *)
+let div_cycles_per_vector = 8.0
+
+let fold_aligned ~fold (a : Expr.access) =
+  let ok = ref true in
+  Array.iteri
+    (fun i d -> if fold.(i) > 1 && d mod fold.(i) <> 0 then ok := false)
+    a.offsets;
+  !ok
+
+let analyze (m : Machine.t) (a : Analysis.t) ~fold =
+  let rank = a.spec.rank in
+  if Array.length fold <> rank then invalid_arg "Incore.analyze: fold rank";
+  let lanes = m.simd.dp_lanes in
+  let lups = lups_per_cl m in
+  (* Vectors of work per cache line of output. *)
+  let vecs_per_cl = float_of_int lups /. float_of_int lanes in
+  (* Loads and shuffles per vector of work. *)
+  let loads_per_vec, shuffles_per_vec =
+    List.fold_left
+      (fun (l, s) acc ->
+        if fold_aligned ~fold acc then (l +. 1.0, s)
+        else
+          (* An unaligned fold access loads its two spanning blocks and
+             combines them with a shuffle; adjacent work units share one
+             of the blocks, amortising the second load. *)
+          (l +. 1.5, s +. 1.0))
+      (0.0, 0.0) a.accesses
+  in
+  let vector_loads = loads_per_vec *. vecs_per_cl in
+  let vector_stores = 1.0 *. vecs_per_cl in
+  let shuffles = shuffles_per_vec *. vecs_per_cl in
+  (* Pair adds with muls into FMAs greedily, as a vectorizing compiler
+     would for sum-of-products stencils. *)
+  let fma = min a.adds a.muls in
+  let adds = a.adds - fma in
+  let muls = a.muls - fma in
+  (* Arithmetic port pressure per vector of work. *)
+  let fma_port_cycles =
+    float_of_int (fma + muls) /. float_of_int m.simd.fma_ports
+  in
+  let add_port_cycles =
+    (float_of_int adds +. shuffles_per_vec)
+    /. float_of_int m.simd.add_ports
+  in
+  let div_cycles = float_of_int a.divs *. div_cycles_per_vector in
+  let t_ol =
+    (max fma_port_cycles add_port_cycles +. div_cycles) *. vecs_per_cl
+  in
+  (* L1 port pressure: loads and stores issue on distinct ports. *)
+  let t_nol =
+    max
+      (vector_loads /. float_of_int m.simd.load_ports)
+      (vector_stores /. float_of_int m.simd.store_ports)
+  in
+  { t_ol; t_nol; vector_loads; vector_stores; shuffles; fma; adds; muls }

@@ -1,0 +1,38 @@
+(** In-core execution model: the T_OL / T_nOL terms of the ECM model.
+
+    Counts the SIMD instruction mix one cache line of lattice updates
+    needs (arithmetic on the FMA/add ports, loads and stores through the
+    L1 ports, shuffles induced by vector folding) and converts it to
+    cycles with a throughput port model — the "no data delays" time.
+
+    Units: cycles per cache line of output (cy/CL), i.e. per
+    [line_bytes / 8] lattice updates. *)
+
+type t = {
+  t_ol : float;
+      (** overlapping time: arithmetic port pressure, hidden behind data
+          transfers on machines that overlap (and on Intel too) *)
+  t_nol : float;
+      (** non-overlapping time: L1 load/store port pressure, which data
+          transfers can never hide *)
+  vector_loads : float;  (** vector loads per CL of output (model) *)
+  vector_stores : float;
+  shuffles : float;  (** fold-induced cross-lane ops per CL *)
+  fma : int;  (** fused multiply-adds per LUP after pairing *)
+  adds : int;  (** unpaired adds per LUP *)
+  muls : int;  (** unpaired muls per LUP *)
+}
+
+val analyze :
+  Yasksite_arch.Machine.t ->
+  Yasksite_stencil.Analysis.t ->
+  fold:int array ->
+  t
+(** [analyze m a ~fold] computes the in-core terms for stencil [a] on
+    machine [m] with vector-fold extents [fold] (all ones = linear
+    layout). A folded access whose offset is not fold-aligned in every
+    folded dimension costs two loads plus one shuffle — YASK's
+    "unaligned fold access" penalty. *)
+
+val lups_per_cl : Yasksite_arch.Machine.t -> int
+(** Lattice updates per cache line (8 for 64-byte lines). *)

@@ -1,0 +1,63 @@
+(** Layer-condition analysis: analytic prediction of the data traffic a
+    stencil sweep moves across each cache boundary, as a function of grid
+    size, spatial block sizes and vector folding.
+
+    For a 3D stencil streamed along the outer (z) dimension inside a
+    (by, bx) block column, reuse across z requires the accessed z-layer
+    span of every field to stay cached ("3D layer condition"); failing
+    that, reuse across y requires the accessed rows to stay cached ("2D
+    layer condition"); failing both, every distinct (z, y) offset group
+    of a field fetches its lines separately. Vector folding merges
+    offsets that fall into the same fold block, reducing the number of
+    distinct groups — YASK's motivation for multi-dimensional folds. *)
+
+type condition =
+  | All_fits  (** whole working set resident: no steady-state traffic *)
+  | Outer_reuse  (** 3D LC holds (plane reuse) — minimal traffic *)
+  | Row_reuse  (** only the 2D LC holds (row reuse) *)
+  | No_reuse  (** every offset group misses *)
+
+type boundary = {
+  level_name : string;
+  condition : condition;
+  lines_per_cl : float;
+      (** cache lines crossing this boundary per cache line of output
+          (i.e. per [lups_per_cl] updates); includes write-allocate and
+          write-back of the output *)
+  bytes_per_lup : float;
+}
+
+val safety : float
+(** Fraction of a cache level the layer condition may occupy (0.5, the
+    standard LC safety factor). *)
+
+val boundaries :
+  Yasksite_arch.Machine.t ->
+  Yasksite_stencil.Analysis.t ->
+  dims:int array ->
+  config:Config.t ->
+  boundary array
+(** One entry per cache boundary, innermost (L1 <-> L2) first; the last
+    entry is the memory boundary. The configured thread count determines
+    each shared level's effective per-core capacity. *)
+
+val mem_bytes_per_lup :
+  Yasksite_arch.Machine.t ->
+  Yasksite_stencil.Analysis.t ->
+  dims:int array ->
+  config:Config.t ->
+  float
+(** Memory-boundary traffic per lattice update, after applying the
+    temporal-blocking reduction of the configured wavefront depth (if its
+    working set fits the last-level cache; otherwise the wavefront brings
+    no reduction). *)
+
+val wavefront_fits :
+  Yasksite_arch.Machine.t ->
+  Yasksite_stencil.Analysis.t ->
+  dims:int array ->
+  config:Config.t ->
+  bool
+(** Whether the configured wavefront's working set fits the last-level
+    cache share — the validity condition for the temporal-blocking
+    traffic reduction. Always true for [wavefront = 1]. *)

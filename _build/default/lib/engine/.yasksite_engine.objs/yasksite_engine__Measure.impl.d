@@ -1,0 +1,1 @@
+lib/engine/measure.ml: Array Sweep Sys Wavefront Yasksite_arch Yasksite_cachesim Yasksite_ecm Yasksite_grid Yasksite_stencil Yasksite_util

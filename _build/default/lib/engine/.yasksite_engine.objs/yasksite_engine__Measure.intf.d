@@ -1,0 +1,1 @@
+lib/engine/measure.mli: Yasksite_arch Yasksite_ecm Yasksite_stencil

@@ -1,0 +1,1 @@
+lib/engine/sweep.ml: Array List Yasksite_cachesim Yasksite_ecm Yasksite_grid Yasksite_stencil

@@ -1,0 +1,1 @@
+lib/engine/wavefront.ml: Array Sweep Yasksite_ecm Yasksite_grid Yasksite_stencil

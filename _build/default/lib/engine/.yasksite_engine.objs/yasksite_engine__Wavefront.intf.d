@@ -1,0 +1,1 @@
+lib/engine/wavefront.mli: Sweep Yasksite_cachesim Yasksite_ecm Yasksite_grid Yasksite_stencil

@@ -1,0 +1,210 @@
+module Grid = Yasksite_grid.Grid
+module Hierarchy = Yasksite_cachesim.Hierarchy
+module Spec = Yasksite_stencil.Spec
+module Analysis = Yasksite_stencil.Analysis
+module Compile = Yasksite_stencil.Compile
+module Expr = Yasksite_stencil.Expr
+module Config = Yasksite_ecm.Config
+
+type stats = { points : int; vec_units : int; rows : int; blocks : int }
+
+let zero_stats = { points = 0; vec_units = 0; rows = 0; blocks = 0 }
+
+let add_stats a b =
+  { points = a.points + b.points;
+    vec_units = a.vec_units + b.vec_units;
+    rows = a.rows + b.rows;
+    blocks = a.blocks + b.blocks }
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Work units of a box of given extents under a fold shape. *)
+let units_of_box extents fold =
+  let acc = ref 1 in
+  Array.iteri (fun i e -> acc := !acc * ceil_div e fold.(i)) extents;
+  !acc
+
+let check_region ~dims ~lo ~hi =
+  let rank = Array.length dims in
+  if Array.length lo <> rank || Array.length hi <> rank then
+    invalid_arg "Sweep: region rank mismatch";
+  Array.iteri
+    (fun i d ->
+      if lo.(i) < 0 || hi.(i) > d || lo.(i) > hi.(i) then
+        invalid_arg "Sweep: region out of bounds")
+    dims
+
+(* The per-point update closure: trace reads, evaluate, trace + perform
+   the write. Building it once keeps the hot loops free of dispatch. *)
+
+let make_update1 spec ~inputs ~(output : Grid.t) ~trace ~nt =
+  let eval = Compile.compile1 spec ~inputs in
+  let oix = Grid.indexer1 output in
+  match trace with
+  | None -> fun x -> Grid.unsafe_set_flat output (oix x) (eval x)
+  | Some h ->
+      let info = Analysis.of_spec spec in
+      let readers =
+        Array.of_list
+          (List.map
+             (fun (a : Expr.access) ->
+               let g = inputs.(a.field) in
+               let ix = Grid.indexer1 g in
+               let base = Grid.base_address g in
+               let d0 = a.offsets.(0) in
+               fun x -> base + (8 * ix (x + d0)))
+             info.accesses)
+      in
+      let obase = Grid.base_address output in
+      let store = if nt then Hierarchy.write_nt h else Hierarchy.write h in
+      fun x ->
+        Array.iter (fun addr -> Hierarchy.read h ~addr:(addr x)) readers;
+        let v = eval x in
+        let o = oix x in
+        store ~addr:(obase + (8 * o));
+        Grid.unsafe_set_flat output o v
+
+let make_update2 spec ~inputs ~(output : Grid.t) ~trace ~nt =
+  let eval = Compile.compile2 spec ~inputs in
+  let oix = Grid.indexer2 output in
+  match trace with
+  | None -> fun y x -> Grid.unsafe_set_flat output (oix y x) (eval y x)
+  | Some h ->
+      let info = Analysis.of_spec spec in
+      let readers =
+        Array.of_list
+          (List.map
+             (fun (a : Expr.access) ->
+               let g = inputs.(a.field) in
+               let ix = Grid.indexer2 g in
+               let base = Grid.base_address g in
+               let d0 = a.offsets.(0) and d1 = a.offsets.(1) in
+               fun y x -> base + (8 * ix (y + d0) (x + d1)))
+             info.accesses)
+      in
+      let obase = Grid.base_address output in
+      let store = if nt then Hierarchy.write_nt h else Hierarchy.write h in
+      fun y x ->
+        Array.iter (fun addr -> Hierarchy.read h ~addr:(addr y x)) readers;
+        let v = eval y x in
+        let o = oix y x in
+        store ~addr:(obase + (8 * o));
+        Grid.unsafe_set_flat output o v
+
+let make_update3 spec ~inputs ~(output : Grid.t) ~trace ~nt =
+  let eval = Compile.compile3 spec ~inputs in
+  let oix = Grid.indexer3 output in
+  match trace with
+  | None ->
+      fun z y x -> Grid.unsafe_set_flat output (oix z y x) (eval z y x)
+  | Some h ->
+      let info = Analysis.of_spec spec in
+      let readers =
+        Array.of_list
+          (List.map
+             (fun (a : Expr.access) ->
+               let g = inputs.(a.field) in
+               let ix = Grid.indexer3 g in
+               let base = Grid.base_address g in
+               let d0 = a.offsets.(0)
+               and d1 = a.offsets.(1)
+               and d2 = a.offsets.(2) in
+               fun z y x -> base + (8 * ix (z + d0) (y + d1) (x + d2)))
+             info.accesses)
+      in
+      let obase = Grid.base_address output in
+      let store = if nt then Hierarchy.write_nt h else Hierarchy.write h in
+      fun z y x ->
+        Array.iter (fun addr -> Hierarchy.read h ~addr:(addr z y x)) readers;
+        let v = eval z y x in
+        let o = oix z y x in
+        store ~addr:(obase + (8 * o));
+        Grid.unsafe_set_flat output o v
+
+let run_region ?trace ?(config = Config.default) ?vec_unit spec ~inputs ~output
+    ~lo ~hi =
+  let dims = Grid.dims output in
+  Array.iter
+    (fun g ->
+      if Grid.dims g <> dims then invalid_arg "Sweep: input dims mismatch")
+    inputs;
+  check_region ~dims ~lo ~hi;
+  let rank = Array.length dims in
+  let fold =
+    match vec_unit with
+    | Some u ->
+        if Array.length u <> rank then invalid_arg "Sweep: vec_unit rank";
+        u
+    | None -> Config.fold_extents config ~rank
+  in
+  let block = Config.block_extents config ~dims in
+  let nt = config.Config.streaming_stores in
+  let points = ref 0 and vec_units = ref 0 and rows = ref 0 and blocks = ref 0 in
+  (match rank with
+  | 1 ->
+      let update = make_update1 spec ~inputs ~output ~trace ~nt in
+      let bx = block.(0) in
+      let xb = ref lo.(0) in
+      while !xb < hi.(0) do
+        let xe = min hi.(0) (!xb + bx) in
+        incr blocks;
+        incr rows;
+        for x = !xb to xe - 1 do
+          update x
+        done;
+        points := !points + (xe - !xb);
+        vec_units := !vec_units + units_of_box [| xe - !xb |] fold;
+        xb := xe
+      done
+  | 2 ->
+      (* Block x (dim 1), stream y (dim 0) inside each block. *)
+      let update = make_update2 spec ~inputs ~output ~trace ~nt in
+      let bx = block.(1) in
+      let xb = ref lo.(1) in
+      while !xb < hi.(1) do
+        let xe = min hi.(1) (!xb + bx) in
+        incr blocks;
+        for y = lo.(0) to hi.(0) - 1 do
+          incr rows;
+          for x = !xb to xe - 1 do
+            update y x
+          done
+        done;
+        let ny = hi.(0) - lo.(0) and nx = xe - !xb in
+        points := !points + (ny * nx);
+        vec_units := !vec_units + units_of_box [| ny; nx |] fold;
+        xb := xe
+      done
+  | _ ->
+      (* Block y and x (dims 1, 2), stream z (dim 0) inside each block
+         column. *)
+      let update = make_update3 spec ~inputs ~output ~trace ~nt in
+      let by = block.(1) and bx = block.(2) in
+      let yb = ref lo.(1) in
+      while !yb < hi.(1) do
+        let ye = min hi.(1) (!yb + by) in
+        let xb = ref lo.(2) in
+        while !xb < hi.(2) do
+          let xe = min hi.(2) (!xb + bx) in
+          incr blocks;
+          for z = lo.(0) to hi.(0) - 1 do
+            for y = !yb to ye - 1 do
+              incr rows;
+              for x = !xb to xe - 1 do
+                update z y x
+              done
+            done
+          done;
+          let nz = hi.(0) - lo.(0) and ny = ye - !yb and nx = xe - !xb in
+          points := !points + (nz * ny * nx);
+          vec_units := !vec_units + units_of_box [| nz; ny; nx |] fold;
+          xb := xe
+        done;
+        yb := ye
+      done);
+  { points = !points; vec_units = !vec_units; rows = !rows; blocks = !blocks }
+
+let run ?trace ?config ?vec_unit spec ~inputs ~output =
+  let dims = Grid.dims output in
+  let lo = Array.map (fun _ -> 0) dims in
+  run_region ?trace ?config ?vec_unit spec ~inputs ~output ~lo ~hi:dims

@@ -1,0 +1,56 @@
+(** One stencil sweep over a grid: the execution substrate standing in
+    for a YASK-generated kernel.
+
+    The sweep applies the configured schedule — spatial blocking of the
+    non-streamed dimensions with the outermost dimension streamed inside
+    each block column — and can feed every memory access it performs into
+    a {!Yasksite_cachesim.Hierarchy}, which is how "measurements" are
+    taken. Results are bit-identical across schedules (verified by the
+    property tests): blocking, folding and tracing change only the order
+    and observation of operations, never values. *)
+
+type stats = {
+  points : int;  (** lattice updates performed *)
+  vec_units : int;
+      (** SIMD work units executed, counting fold-padding waste and
+          remainder blocks (what the in-core cycle accounting bills) *)
+  rows : int;  (** innermost-loop entries (loop start overhead) *)
+  blocks : int;  (** block-column entries *)
+}
+
+val zero_stats : stats
+
+val add_stats : stats -> stats -> stats
+
+val run :
+  ?trace:Yasksite_cachesim.Hierarchy.t ->
+  ?config:Yasksite_ecm.Config.t ->
+  ?vec_unit:int array ->
+  Yasksite_stencil.Spec.t ->
+  inputs:Yasksite_grid.Grid.t array ->
+  output:Yasksite_grid.Grid.t ->
+  stats
+(** [run spec ~inputs ~output] computes one sweep over the interior of
+    [output] (whose dims must equal every input's dims). Halos of the
+    inputs must have been set by the caller. The output grid may use a
+    different layout than the inputs. When [trace] is given, every read
+    and the write of each update is issued to the hierarchy in program
+    order. The config's [fold] describes the layout the {e caller} gave
+    the grids; it does not relayout them. [vec_unit] is the SIMD
+    work-unit shape used for [vec_units] accounting (default: the
+    config's fold extents; a linear-layout kernel on an 8-lane machine
+    would pass [\[|1;1;8|\]]). *)
+
+val run_region :
+  ?trace:Yasksite_cachesim.Hierarchy.t ->
+  ?config:Yasksite_ecm.Config.t ->
+  ?vec_unit:int array ->
+  Yasksite_stencil.Spec.t ->
+  inputs:Yasksite_grid.Grid.t array ->
+  output:Yasksite_grid.Grid.t ->
+  lo:int array ->
+  hi:int array ->
+  stats
+(** Like {!run} but restricted to the half-open interior box
+    [\[lo, hi)] — the building block for thread partitions and
+    wavefronts. *)

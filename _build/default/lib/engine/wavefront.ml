@@ -1,0 +1,47 @@
+module Grid = Yasksite_grid.Grid
+module Spec = Yasksite_stencil.Spec
+module Analysis = Yasksite_stencil.Analysis
+module Config = Yasksite_ecm.Config
+
+let steps ?trace ?(config = Config.default) ?vec_unit ?lo ?hi
+    (spec : Spec.t) ~a ~b ~steps =
+  if spec.n_fields <> 1 then
+    invalid_arg "Wavefront.steps: single-field stencils only";
+  let dims = Grid.dims a in
+  if Grid.dims b <> dims then invalid_arg "Wavefront.steps: dims mismatch";
+  let rank = Array.length dims in
+  let lo = match lo with None -> Array.make rank 0 | Some l -> Array.copy l in
+  let hi = match hi with None -> Array.copy dims | Some h -> Array.copy h in
+  if lo.(0) <> 0 || hi.(0) <> dims.(0) then
+    invalid_arg "Wavefront.steps: streamed dimension must stay full";
+  let info = Analysis.of_spec spec in
+  let r0 = info.radius.(0) in
+  let shift = r0 + 1 in
+  let n0 = dims.(0) in
+  let grids = [| a; b |] in
+  let stats = ref Sweep.zero_stats in
+  let total = ref 0 in
+  (* Update plane [z] of timestep [t] -> [t+1] (absolute step index
+     [base + t]), ping-ponging between the two grids. *)
+  let update_plane ~abs_t z =
+    let src = grids.(abs_t mod 2) and dst = grids.((abs_t + 1) mod 2) in
+    let plo = Array.copy lo and phi = Array.copy hi in
+    plo.(0) <- z;
+    phi.(0) <- z + 1;
+    let s =
+      Sweep.run_region ?trace ~config ?vec_unit spec ~inputs:[| src |]
+        ~output:dst ~lo:plo ~hi:phi
+    in
+    stats := Sweep.add_stats !stats s
+  in
+  while !total < steps do
+    let depth = min config.Config.wavefront (steps - !total) in
+    for front = 0 to n0 - 1 + ((depth - 1) * shift) do
+      for t = 0 to depth - 1 do
+        let z = front - (t * shift) in
+        if z >= 0 && z < n0 then update_plane ~abs_t:(!total + t) z
+      done
+    done;
+    total := !total + depth
+  done;
+  (grids.(steps mod 2), !stats)

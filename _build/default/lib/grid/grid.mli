@@ -1,0 +1,104 @@
+(** N-dimensional float64 grids with halos and YASK-style folded layouts.
+
+    A grid owns an interior of [dims.(i)] points per dimension plus a halo
+    of [halo.(i)] ghost points on each side. Storage is a flat [Bigarray]
+    in one of two layouts:
+
+    - {e linear}: row-major with the last dimension contiguous (the layout
+      plain C code uses);
+    - {e folded}: YASK vector folding — the array is a row-major grid of
+      small SIMD blocks ("folds", e.g. 2x2x2 doubles), each stored
+      contiguously. Folding changes which cache lines a stencil access
+      touches and is one of the tuning dimensions the paper exposes.
+
+    Every grid is assigned a unique range of {e virtual byte addresses} so
+    the trace-driven cache simulator sees a realistic, non-aliasing heap
+    layout (page-aligned consecutive allocations). *)
+
+type layout =
+  | Linear
+  | Folded of int array
+      (** fold extent per dimension; the product is the SIMD block size *)
+
+type t
+
+val create : ?halo:int array -> ?layout:layout -> dims:int array -> unit -> t
+(** [create ~dims ()] allocates a zero-filled grid. [dims] must have rank
+    1..3 with positive extents; [halo] defaults to all zeros and must
+    match the rank; a [Folded] layout must match the rank with positive
+    fold extents. *)
+
+val rank : t -> int
+
+val dims : t -> int array
+(** Interior extents (copy). *)
+
+val halo : t -> int array
+
+val layout : t -> layout
+
+val length : t -> int
+(** Number of allocated elements including halo and fold padding. *)
+
+val base_address : t -> int
+(** First virtual byte address of the storage (8 bytes per element). *)
+
+val offset_of : t -> int array -> int
+(** [offset_of g idx] maps interior coordinates (each in
+    [\[-halo, dim+halo)]) to the flat element offset. Raises
+    [Invalid_argument] out of range. *)
+
+val byte_address : t -> int array -> int
+(** [base_address + 8 * offset_of]. *)
+
+val get : t -> int array -> float
+
+val set : t -> int array -> float -> unit
+
+val unsafe_get_flat : t -> int -> float
+(** Direct flat access by element offset; no bounds check. *)
+
+val unsafe_set_flat : t -> int -> float -> unit
+
+val indexer1 : t -> int -> int
+(** Flat offset of a rank-1 interior coordinate (halo range allowed); the
+    partially applied form is a closure specialised to the grid's layout,
+    suitable for hot loops. No bounds checks. *)
+
+val indexer2 : t -> int -> int -> int
+(** Rank-2 analogue of {!indexer1}; arguments ordered slowest-first. *)
+
+val indexer3 : t -> int -> int -> int -> int
+(** Rank-3 analogue of {!indexer1}; arguments ordered slowest-first. *)
+
+val fill : t -> f:(int array -> float) -> unit
+(** Set every interior point from its coordinates. *)
+
+val fill_all : t -> float -> unit
+(** Set every allocated element (interior, halo and padding). *)
+
+val iter_interior : t -> f:(int array -> unit) -> unit
+(** Row-major iteration over interior coordinates. *)
+
+val copy_interior : src:t -> dst:t -> unit
+(** Copy interior values; grids must have equal dims (layouts may
+    differ). *)
+
+val halo_dirichlet : t -> float -> unit
+(** Set all halo points to a constant. *)
+
+val halo_periodic : t -> unit
+(** Fill the halo by periodic wrap-around of the interior. Requires
+    [halo.(i) <= dims.(i)]. *)
+
+val max_abs_diff : t -> t -> float
+(** Max absolute interior difference; dims must match. *)
+
+val l2_norm : t -> float
+(** Euclidean norm over the interior. *)
+
+val footprint_bytes : t -> int
+(** Allocated bytes (8 * {!length}). *)
+
+val reset_address_space : unit -> unit
+(** Restart the virtual-address allocator (for test isolation). *)

@@ -1,0 +1,1 @@
+lib/ode/pde.ml: Array Ivp List Option Printf Yasksite_grid Yasksite_stencil

@@ -1,0 +1,1 @@
+lib/ode/pde.mli: Ivp Yasksite_grid Yasksite_stencil

@@ -1,0 +1,1 @@
+lib/ode/rk.ml: Array Ivp Tableau

@@ -1,0 +1,1 @@
+lib/ode/rk.mli: Ivp Tableau

@@ -1,0 +1,1 @@
+lib/ode/tableau.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/ode/tableau.mli:

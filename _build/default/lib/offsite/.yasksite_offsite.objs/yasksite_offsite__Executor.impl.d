@@ -1,0 +1,1 @@
+lib/offsite/executor.ml: Array List Variant Yasksite_engine Yasksite_grid Yasksite_ode Yasksite_stencil

@@ -1,0 +1,1 @@
+lib/offsite/executor.mli: Variant Yasksite_grid Yasksite_ode

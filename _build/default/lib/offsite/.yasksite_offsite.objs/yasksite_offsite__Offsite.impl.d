@@ -1,0 +1,1 @@
+lib/offsite/offsite.ml: Array List Variant Yasksite_arch Yasksite_ecm Yasksite_engine Yasksite_ode Yasksite_stencil Yasksite_util

@@ -1,0 +1,1 @@
+lib/offsite/offsite.mli: Variant Yasksite_arch Yasksite_ecm Yasksite_ode Yasksite_stencil

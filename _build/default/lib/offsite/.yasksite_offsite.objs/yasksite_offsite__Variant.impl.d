@@ -1,0 +1,1 @@
+lib/offsite/variant.ml: Array List Printf String Yasksite_ode Yasksite_stencil

@@ -1,0 +1,1 @@
+lib/offsite/variant.mli: Yasksite_ode Yasksite_stencil

@@ -1,0 +1,107 @@
+module Grid = Yasksite_grid.Grid
+module Analysis = Yasksite_stencil.Analysis
+module Expr = Yasksite_stencil.Expr
+module Pde = Yasksite_ode.Pde
+module Sweep = Yasksite_engine.Sweep
+
+type compiled = {
+  kernel : Variant.kernel;
+  (* Input buffers that are read at non-zero offsets and therefore need a
+     halo refresh before the kernel runs (periodic problems only). *)
+  halo_inputs : Variant.buffer list;
+}
+
+type t = {
+  pde : Pde.t;
+  variant : Variant.t;
+  mutable state : Grid.t;
+  mutable next_state : Grid.t;
+  others : (Variant.buffer * Grid.t) list; (* stages and scratch *)
+  kernels : compiled list;
+  mutable steps_done : int;
+}
+
+let stage_boundary_value = function
+  | Pde.Dirichlet _ -> Some 0.0
+  | Pde.Periodic -> None
+
+let grid_of t = function
+  | Variant.State -> t.state
+  | Variant.Next_state -> t.next_state
+  | b -> List.assoc b t.others
+
+let create (pde : Pde.t) (variant : Variant.t) =
+  let halo = Pde.halo pde in
+  let dims = pde.Pde.dims in
+  let fresh_with value =
+    let g = Grid.create ~halo ~dims () in
+    (match value with
+    | Some v -> Grid.halo_dirichlet g v
+    | None -> ());
+    g
+  in
+  let state = Pde.init_grid pde in
+  let boundary_value =
+    match pde.Pde.boundary with
+    | Pde.Dirichlet v -> Some v
+    | Pde.Periodic -> None
+  in
+  let next_state = fresh_with boundary_value in
+  let others =
+    List.filter_map
+      (fun b ->
+        match b with
+        | Variant.State | Variant.Next_state -> None
+        | Variant.Stage _ -> Some (b, fresh_with (stage_boundary_value pde.Pde.boundary))
+        | Variant.Stage_input -> Some (b, fresh_with boundary_value))
+      (Variant.buffers variant)
+  in
+  let kernels =
+    List.map
+      (fun (k : Variant.kernel) ->
+        let info = Analysis.of_spec k.Variant.spec in
+        let fields_at_offsets =
+          List.filter_map
+            (fun (a : Expr.access) ->
+              if Array.exists (fun d -> d <> 0) a.Expr.offsets then
+                Some a.Expr.field
+              else None)
+            info.Analysis.accesses
+          |> List.sort_uniq compare
+        in
+        { kernel = k;
+          halo_inputs =
+            List.map (fun f -> k.Variant.inputs.(f)) fields_at_offsets })
+      variant.Variant.kernels
+  in
+  { pde; variant; state; next_state; others; kernels; steps_done = 0 }
+
+let refresh_halo t buffer =
+  (* Dirichlet halos are static (set at creation); only periodic halos
+     track the interior. *)
+  match t.pde.Pde.boundary with
+  | Pde.Dirichlet _ -> ()
+  | Pde.Periodic -> Grid.halo_periodic (grid_of t buffer)
+
+let step t =
+  List.iter
+    (fun c ->
+      List.iter (refresh_halo t) c.halo_inputs;
+      let inputs = Array.map (grid_of t) c.kernel.Variant.inputs in
+      let output = grid_of t c.kernel.Variant.output in
+      ignore (Sweep.run c.kernel.Variant.spec ~inputs ~output : Sweep.stats))
+    t.kernels;
+  (* The variant writes the advanced state into Next_state; swap. *)
+  let s = t.state in
+  t.state <- t.next_state;
+  t.next_state <- s;
+  t.steps_done <- t.steps_done + 1
+
+let run t ~steps =
+  for _ = 1 to steps do
+    step t
+  done
+
+let state t = t.state
+
+let steps_done t = t.steps_done

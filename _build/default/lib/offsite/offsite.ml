@@ -1,0 +1,242 @@
+module Machine = Yasksite_arch.Machine
+module Analysis = Yasksite_stencil.Analysis
+module Config = Yasksite_ecm.Config
+module Model = Yasksite_ecm.Model
+module Advisor = Yasksite_ecm.Advisor
+module Measure = Yasksite_engine.Measure
+module Pde = Yasksite_ode.Pde
+module Tableau = Yasksite_ode.Tableau
+
+type candidate = {
+  variant : Variant.t;
+  tuned : bool;
+  configs : (string * Config.t) list;
+  predicted_step_seconds : float;
+  measured_step_seconds : float;
+}
+
+let best_static_config m info ~dims ~threads =
+  let ranked = Advisor.rank_all m info ~dims ~threads in
+  let static =
+    List.filter (fun (c, _) -> c.Config.wavefront = 1) ranked
+  in
+  match static with
+  | (c, _) :: _ -> c
+  | [] -> Config.v ~threads ()
+
+let score m (pde : Pde.t) (variant : Variant.t) ~threads ~tuned =
+  let dims = pde.Pde.dims in
+  let points = float_of_int (Array.fold_left ( * ) 1 dims) in
+  let per_kernel =
+    List.map
+      (fun (k : Variant.kernel) ->
+        let info = Analysis.of_spec k.Variant.spec in
+        let config =
+          if tuned then best_static_config m info ~dims ~threads
+          else Config.v ~threads ()
+        in
+        let prediction = Model.predict m info ~dims ~config in
+        let measured = Measure.stencil_sweep m k.Variant.spec ~dims ~config in
+        ( k.Variant.label,
+          config,
+          points /. prediction.Model.lups_chip,
+          points /. measured.Measure.lups_chip ))
+      variant.Variant.kernels
+  in
+  { variant;
+    tuned;
+    configs = List.map (fun (l, c, _, _) -> (l, c)) per_kernel;
+    predicted_step_seconds =
+      List.fold_left (fun acc (_, _, p, _) -> acc +. p) 0.0 per_kernel;
+    measured_step_seconds =
+      List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0.0 per_kernel }
+
+let evaluate_variants m pde variants ~threads =
+  let candidates =
+    List.concat_map
+      (fun v ->
+        [ score m pde v ~threads ~tuned:false;
+          score m pde v ~threads ~tuned:true ])
+      variants
+  in
+  List.sort
+    (fun a b -> compare a.predicted_step_seconds b.predicted_step_seconds)
+    candidates
+
+let evaluate_mixed m pde tab ~h ~threads =
+  evaluate_variants m pde (Variant.all_mixed tab pde ~h) ~threads
+
+let evaluate m pde tab ~h ~threads =
+  evaluate_variants m pde (Variant.all tab pde ~h) ~threads
+
+type quality = {
+  kendall : float;
+  top1 : bool;
+  speedup_selected : float;
+  selected_gap : float;
+  mean_abs_error : float;
+}
+
+let quality candidates =
+  if List.length candidates < 2 then
+    invalid_arg "Offsite.quality: need at least two candidates";
+  let predicted =
+    Array.of_list (List.map (fun c -> c.predicted_step_seconds) candidates)
+  in
+  let measured =
+    Array.of_list (List.map (fun c -> c.measured_step_seconds) candidates)
+  in
+  let baseline =
+    match
+      List.find_opt
+        (fun c -> c.variant.Variant.scheme = `Unfused && not c.tuned)
+        candidates
+    with
+    | Some c -> c.measured_step_seconds
+    | None -> measured.(0)
+  in
+  let selected =
+    (* Candidates arrive sorted by prediction; the selected one is the
+       first. If unsorted, pick the predicted minimum. *)
+    List.fold_left
+      (fun acc c ->
+        if c.predicted_step_seconds < acc.predicted_step_seconds then c
+        else acc)
+      (List.hd candidates) candidates
+  in
+  let errors =
+    Array.init (Array.length predicted) (fun i ->
+        Yasksite_util.Stats.abs_rel_error ~predicted:predicted.(i)
+          ~measured:measured.(i))
+  in
+  let best_measured = Yasksite_util.Stats.minimum measured in
+  { kendall = Yasksite_util.Stats.kendall_tau predicted measured;
+    top1 =
+      Yasksite_util.Stats.top1_agrees ~better_is_lower:true predicted measured;
+    speedup_selected = baseline /. selected.measured_step_seconds;
+    selected_gap = (selected.measured_step_seconds /. best_measured) -. 1.0;
+    mean_abs_error = Yasksite_util.Stats.mean errors }
+
+type method_choice = {
+  tableau : Tableau.t;
+  candidate : candidate;
+  h_stable : float;
+  predicted_time_per_unit : float;
+  measured_time_per_unit : float;
+}
+
+(* Dominant |eigenvalue| of the (linearised) RHS by power iteration on
+   the flat-vector view — for parabolic problems this is the spectral
+   radius of the discrete Laplacian that limits explicit step sizes. *)
+let spectral_radius (pde : Pde.t) =
+  let ivp = Yasksite_ode.Pde.to_ivp pde ~t_end:1.0 in
+  let dim = ivp.Yasksite_ode.Ivp.dim in
+  let rng = Yasksite_util.Prng.create ~seed:271828 in
+  let v =
+    Array.init dim (fun _ ->
+        Yasksite_util.Prng.float_range rng ~lo:(-1.0) ~hi:1.0)
+  in
+  let w = Array.make dim 0.0 in
+  let norm a = sqrt (Array.fold_left (fun s x -> s +. (x *. x)) 0.0 a) in
+  let lambda = ref 1.0 in
+  for _ = 1 to 30 do
+    ivp.Yasksite_ode.Ivp.rhs ~tm:0.0 ~y:v ~dydt:w;
+    let n = norm w in
+    if n > 0.0 then begin
+      lambda := n /. max 1e-300 (norm v);
+      Array.iteri (fun i x -> v.(i) <- x /. n) w
+    end
+  done;
+  !lambda
+
+let rank_methods m (pde : Pde.t) tableaux ~threads =
+  let rho = spectral_radius pde in
+  let choices =
+    List.map
+      (fun (tab : Tableau.t) ->
+        (* Step just inside the stability boundary. *)
+        let h_stable = 0.9 *. Tableau.real_stability_interval tab /. rho in
+        let candidates =
+          evaluate_variants m pde (Variant.all tab pde ~h:h_stable) ~threads
+        in
+        let candidate = List.hd candidates in
+        let steps_per_unit = 1.0 /. h_stable in
+        { tableau = tab;
+          candidate;
+          h_stable;
+          predicted_time_per_unit =
+            candidate.predicted_step_seconds *. steps_per_unit;
+          measured_time_per_unit =
+            candidate.measured_step_seconds *. steps_per_unit })
+      tableaux
+  in
+  List.sort
+    (fun a b -> compare a.predicted_time_per_unit b.predicted_time_per_unit)
+    choices
+
+type accuracy_choice = {
+  tableau_a : Tableau.t;
+  candidate_a : candidate;
+  steps : int;
+  h_used : float;
+  achieved_error : float;
+  predicted_seconds : float;
+  measured_seconds : float;
+}
+
+let max_norm_diff a b =
+  let m = ref 0.0 in
+  Array.iteri (fun i v -> m := max !m (abs_float (v -. b.(i)))) a;
+  !m
+
+let rank_methods_at_accuracy m (pde : Pde.t) tableaux ~t_end ~tol ~threads =
+  if tol <= 0.0 then
+    invalid_arg "Offsite.rank_methods_at_accuracy: tol must be positive";
+  let ivp = Yasksite_ode.Pde.to_ivp pde ~t_end in
+  let rho = spectral_radius pde in
+  (* One fine reference for all methods: DOPRI5 at 4x the steps the most
+     stability-constrained candidate needs. *)
+  let min_interval =
+    List.fold_left
+      (fun acc tab -> min acc (Tableau.real_stability_interval tab))
+      infinity tableaux
+  in
+  let max_stability_steps =
+    int_of_float (ceil (t_end *. rho /. (0.9 *. min_interval)))
+  in
+  let reference =
+    Yasksite_ode.Rk.integrate Tableau.dopri5 ivp
+      ~steps:(4 * max (max_stability_steps) 16)
+  in
+  let choices =
+    List.map
+      (fun (tab : Tableau.t) ->
+        let h_stable = 0.9 *. Tableau.real_stability_interval tab /. rho in
+        let stability_steps =
+          max 1 (int_of_float (ceil (t_end /. h_stable)))
+        in
+        (* Double the step count until the tolerance is met. *)
+        let rec search steps attempts =
+          let y = Yasksite_ode.Rk.integrate tab ivp ~steps in
+          let e = max_norm_diff y reference in
+          if e <= tol || attempts = 0 then (steps, e)
+          else search (steps * 2) (attempts - 1)
+        in
+        let steps, achieved_error = search stability_steps 10 in
+        let h_used = t_end /. float_of_int steps in
+        let candidates =
+          evaluate_variants m pde (Variant.all tab pde ~h:h_used) ~threads
+        in
+        let candidate_a = List.hd candidates in
+        { tableau_a = tab;
+          candidate_a;
+          steps;
+          h_used;
+          achieved_error;
+          predicted_seconds =
+            float_of_int steps *. candidate_a.predicted_step_seconds;
+          measured_seconds =
+            float_of_int steps *. candidate_a.measured_step_seconds })
+      tableaux
+  in
+  List.sort (fun a b -> compare a.predicted_seconds b.predicted_seconds) choices

@@ -1,0 +1,1 @@
+lib/stencil/analysis.ml: Array Expr List Printf Spec String

@@ -1,0 +1,1 @@
+lib/stencil/analysis.mli: Expr Spec

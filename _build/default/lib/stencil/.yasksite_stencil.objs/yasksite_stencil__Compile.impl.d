@@ -1,0 +1,1 @@
+lib/stencil/compile.ml: Analysis Array Expr List Printf Spec Yasksite_grid

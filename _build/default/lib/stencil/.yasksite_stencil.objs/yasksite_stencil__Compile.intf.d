@@ -1,0 +1,1 @@
+lib/stencil/compile.mli: Spec Yasksite_grid

@@ -1,0 +1,1 @@
+lib/stencil/dsl.ml: Array Expr List

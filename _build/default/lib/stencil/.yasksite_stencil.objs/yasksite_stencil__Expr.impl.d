@@ -1,0 +1,1 @@
+lib/stencil/expr.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/stencil/expr.mli: Format

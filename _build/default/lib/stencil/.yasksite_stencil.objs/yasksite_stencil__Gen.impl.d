@@ -1,0 +1,1 @@
+lib/stencil/gen.ml: Array Expr List Printf Spec Yasksite_util

@@ -1,0 +1,1 @@
+lib/stencil/gen.mli: Spec Yasksite_util

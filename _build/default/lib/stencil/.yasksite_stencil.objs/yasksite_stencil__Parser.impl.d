@@ -1,0 +1,1 @@
+lib/stencil/parser.ml: Array Expr List Printf Spec String

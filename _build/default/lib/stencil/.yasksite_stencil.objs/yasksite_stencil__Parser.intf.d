@@ -1,0 +1,1 @@
+lib/stencil/parser.mli: Expr Spec

@@ -1,0 +1,1 @@
+lib/stencil/spec.ml: Array Buffer Expr Format List Printf String

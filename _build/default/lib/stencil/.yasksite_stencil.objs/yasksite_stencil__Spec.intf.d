@@ -1,0 +1,1 @@
+lib/stencil/spec.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/stencil/suite.ml: Dsl Expr List Spec

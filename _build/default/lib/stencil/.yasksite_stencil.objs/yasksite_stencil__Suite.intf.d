@@ -1,0 +1,1 @@
+lib/stencil/suite.mli: Spec

@@ -1,0 +1,120 @@
+module Grid = Yasksite_grid.Grid
+
+exception Unresolved_coefficient of string
+
+let check_inputs (spec : Spec.t) ~inputs =
+  if Array.length inputs <> spec.n_fields then
+    invalid_arg "Compile: input count does not match n_fields";
+  Array.iter
+    (fun g ->
+      if Grid.rank g <> spec.rank then
+        invalid_arg "Compile: input grid rank mismatch")
+    inputs;
+  let info = Analysis.of_spec spec in
+  List.iter
+    (fun (a : Expr.access) ->
+      let h = Grid.halo inputs.(a.field) in
+      Array.iteri
+        (fun i d ->
+          if abs d > h.(i) then
+            invalid_arg
+              (Printf.sprintf
+                 "Compile: field %d halo %d too small for offset %d" a.field
+                 h.(i) d))
+        a.offsets)
+    info.accesses
+
+let fail_coeff n = raise (Unresolved_coefficient n)
+
+(* Each rank gets its own compiler so the hot closure takes unboxed int
+   arguments instead of an allocated coordinate array. *)
+
+let rec comp1 inputs (e : Expr.t) : int -> float =
+  match e with
+  | Const c -> fun _ -> c
+  | Coeff n -> fail_coeff n
+  | Ref { field; offsets } ->
+      let g = inputs.(field) in
+      let ix = Grid.indexer1 g in
+      let d0 = offsets.(0) in
+      fun x -> Grid.unsafe_get_flat g (ix (x + d0))
+  | Neg a ->
+      let fa = comp1 inputs a in
+      fun x -> -.fa x
+  | Add (a, b) ->
+      let fa = comp1 inputs a and fb = comp1 inputs b in
+      fun x -> fa x +. fb x
+  | Sub (a, b) ->
+      let fa = comp1 inputs a and fb = comp1 inputs b in
+      fun x -> fa x -. fb x
+  | Mul (a, b) ->
+      let fa = comp1 inputs a and fb = comp1 inputs b in
+      fun x -> fa x *. fb x
+  | Div (a, b) ->
+      let fa = comp1 inputs a and fb = comp1 inputs b in
+      fun x -> fa x /. fb x
+
+let rec comp2 inputs (e : Expr.t) : int -> int -> float =
+  match e with
+  | Const c -> fun _ _ -> c
+  | Coeff n -> fail_coeff n
+  | Ref { field; offsets } ->
+      let g = inputs.(field) in
+      let ix = Grid.indexer2 g in
+      let d0 = offsets.(0) and d1 = offsets.(1) in
+      fun y x -> Grid.unsafe_get_flat g (ix (y + d0) (x + d1))
+  | Neg a ->
+      let fa = comp2 inputs a in
+      fun y x -> -.fa y x
+  | Add (a, b) ->
+      let fa = comp2 inputs a and fb = comp2 inputs b in
+      fun y x -> fa y x +. fb y x
+  | Sub (a, b) ->
+      let fa = comp2 inputs a and fb = comp2 inputs b in
+      fun y x -> fa y x -. fb y x
+  | Mul (a, b) ->
+      let fa = comp2 inputs a and fb = comp2 inputs b in
+      fun y x -> fa y x *. fb y x
+  | Div (a, b) ->
+      let fa = comp2 inputs a and fb = comp2 inputs b in
+      fun y x -> fa y x /. fb y x
+
+let rec comp3 inputs (e : Expr.t) : int -> int -> int -> float =
+  match e with
+  | Const c -> fun _ _ _ -> c
+  | Coeff n -> fail_coeff n
+  | Ref { field; offsets } ->
+      let g = inputs.(field) in
+      let ix = Grid.indexer3 g in
+      let d0 = offsets.(0) and d1 = offsets.(1) and d2 = offsets.(2) in
+      fun z y x -> Grid.unsafe_get_flat g (ix (z + d0) (y + d1) (x + d2))
+  | Neg a ->
+      let fa = comp3 inputs a in
+      fun z y x -> -.fa z y x
+  | Add (a, b) ->
+      let fa = comp3 inputs a and fb = comp3 inputs b in
+      fun z y x -> fa z y x +. fb z y x
+  | Sub (a, b) ->
+      let fa = comp3 inputs a and fb = comp3 inputs b in
+      fun z y x -> fa z y x -. fb z y x
+  | Mul (a, b) ->
+      let fa = comp3 inputs a and fb = comp3 inputs b in
+      fun z y x -> fa z y x *. fb z y x
+  | Div (a, b) ->
+      let fa = comp3 inputs a and fb = comp3 inputs b in
+      fun z y x -> fa z y x /. fb z y x
+
+let compile1 (spec : Spec.t) ~inputs =
+  if spec.rank <> 1 then invalid_arg "Compile.compile1: rank must be 1";
+  check_inputs spec ~inputs;
+  comp1 inputs spec.expr
+
+let compile2 (spec : Spec.t) ~inputs =
+  if spec.rank <> 2 then invalid_arg "Compile.compile2: rank must be 2";
+  check_inputs spec ~inputs;
+  comp2 inputs spec.expr
+
+let compile3 (spec : Spec.t) ~inputs =
+  if spec.rank <> 3 then invalid_arg "Compile.compile3: rank must be 3";
+  check_inputs spec ~inputs;
+  comp3 inputs spec.expr

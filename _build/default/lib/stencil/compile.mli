@@ -1,0 +1,28 @@
+(** Staged compilation of stencil expressions to OCaml closures.
+
+    This is the repo's stand-in for YASK's code generator: a [Spec.t] is
+    lowered once into a closure tree specialised to the input grids'
+    layouts, then applied at every lattice point. Coefficients must be
+    fully resolved before compilation. *)
+
+exception Unresolved_coefficient of string
+
+val compile1 : Spec.t -> inputs:Yasksite_grid.Grid.t array -> int -> float
+(** [compile1 spec ~inputs] returns the point evaluator for a rank-1
+    kernel: partially applying the first two arguments yields
+    [fun x -> value]. Raises [Invalid_argument] if the number, rank or
+    halo of [inputs] does not cover the stencil, and
+    {!Unresolved_coefficient} if a named coefficient remains. *)
+
+val compile2 :
+  Spec.t -> inputs:Yasksite_grid.Grid.t array -> int -> int -> float
+(** Rank-2 analogue: evaluator [fun y x -> value]. *)
+
+val compile3 :
+  Spec.t -> inputs:Yasksite_grid.Grid.t array -> int -> int -> int -> float
+(** Rank-3 analogue: evaluator [fun z y x -> value]. *)
+
+val check_inputs : Spec.t -> inputs:Yasksite_grid.Grid.t array -> unit
+(** Validation shared by the [compileN] functions: input count equals
+    [n_fields], every grid has the spec's rank, and each grid's halo is at
+    least the stencil radius of the accesses to that field. *)

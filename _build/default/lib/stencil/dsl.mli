@@ -1,0 +1,32 @@
+(** Combinators for writing stencil expressions concisely.
+
+    [open Yasksite_stencil.Dsl] locally to write kernels like
+    {[
+      let heat_3d =
+        p "r" *: sum [ fld [-1;0;0]; fld [1;0;0]; fld [0;-1;0];
+                       fld [0;1;0]; fld [0;0;-1]; fld [0;0;1] ]
+        +: (p "c" *: fld [0;0;0])
+    ]} *)
+
+val fld : ?field:int -> int list -> Expr.t
+(** Field access at a relative offset (slowest dimension first); [field]
+    defaults to 0. *)
+
+val c : float -> Expr.t
+(** Literal constant. *)
+
+val p : string -> Expr.t
+(** Named coefficient, resolved at kernel-compile time. *)
+
+val ( +: ) : Expr.t -> Expr.t -> Expr.t
+
+val ( -: ) : Expr.t -> Expr.t -> Expr.t
+
+val ( *: ) : Expr.t -> Expr.t -> Expr.t
+
+val ( /: ) : Expr.t -> Expr.t -> Expr.t
+
+val neg : Expr.t -> Expr.t
+
+val sum : Expr.t list -> Expr.t
+(** Left-associated sum; the list must be non-empty. *)

@@ -1,0 +1,94 @@
+type access = { field : int; offsets : int array }
+
+type t =
+  | Const of float
+  | Coeff of string
+  | Ref of access
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+
+let equal = ( = )
+
+let rec fold_accesses e ~init ~f =
+  match e with
+  | Const _ | Coeff _ -> init
+  | Ref a -> f init a
+  | Neg x -> fold_accesses x ~init ~f
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      fold_accesses b ~init:(fold_accesses a ~init ~f) ~f
+
+let coeff_names e =
+  let rec go acc = function
+    | Const _ | Ref _ -> acc
+    | Coeff n -> n :: acc
+    | Neg x -> go acc x
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> go (go acc a) b
+  in
+  List.sort_uniq compare (go [] e)
+
+let rec subst_coeffs env = function
+  | Const c -> Const c
+  | Coeff n -> (match env n with Some v -> Const v | None -> Coeff n)
+  | Ref a -> Ref a
+  | Neg x -> Neg (subst_coeffs env x)
+  | Add (a, b) -> Add (subst_coeffs env a, subst_coeffs env b)
+  | Sub (a, b) -> Sub (subst_coeffs env a, subst_coeffs env b)
+  | Mul (a, b) -> Mul (subst_coeffs env a, subst_coeffs env b)
+  | Div (a, b) -> Div (subst_coeffs env a, subst_coeffs env b)
+
+let rec map_accesses f = function
+  | Const c -> Const c
+  | Coeff n -> Coeff n
+  | Ref a -> Ref (f a)
+  | Neg x -> Neg (map_accesses f x)
+  | Add (a, b) -> Add (map_accesses f a, map_accesses f b)
+  | Sub (a, b) -> Sub (map_accesses f a, map_accesses f b)
+  | Mul (a, b) -> Mul (map_accesses f a, map_accesses f b)
+  | Div (a, b) -> Div (map_accesses f a, map_accesses f b)
+
+let rec subst_accesses f = function
+  | Const c -> Const c
+  | Coeff n -> Coeff n
+  | Ref a -> f a
+  | Neg x -> Neg (subst_accesses f x)
+  | Add (a, b) -> Add (subst_accesses f a, subst_accesses f b)
+  | Sub (a, b) -> Sub (subst_accesses f a, subst_accesses f b)
+  | Mul (a, b) -> Mul (subst_accesses f a, subst_accesses f b)
+  | Div (a, b) -> Div (subst_accesses f a, subst_accesses f b)
+
+let axis_names = [| "z"; "y"; "x" |]
+
+let access_to_c a =
+  let rank = Array.length a.offsets in
+  let coords =
+    Array.to_list
+      (Array.mapi
+         (fun i d ->
+           (* Name dimensions x (fastest) backwards from the end. *)
+           let name = axis_names.(3 - rank + i) in
+           if d = 0 then name
+           else if d > 0 then Printf.sprintf "%s+%d" name d
+           else Printf.sprintf "%s-%d" name (-d))
+         a.offsets)
+  in
+  Printf.sprintf "f%d(%s)" a.field (String.concat "," coords)
+
+(* Precedence levels: 0 additive, 1 multiplicative, 2 unary/atom. *)
+let rec render prec e =
+  let paren p s = if p < prec then "(" ^ s ^ ")" else s in
+  match e with
+  | Const c -> Printf.sprintf "%.17g" c
+  | Coeff n -> n
+  | Ref a -> access_to_c a
+  | Neg x -> paren 1 ("-" ^ render 2 x)
+  | Add (a, b) -> paren 0 (render 0 a ^ " + " ^ render 0 b)
+  | Sub (a, b) -> paren 0 (render 0 a ^ " - " ^ render 1 b)
+  | Mul (a, b) -> paren 1 (render 1 a ^ " * " ^ render 2 b)
+  | Div (a, b) -> paren 1 (render 1 a ^ " / " ^ render 2 b)
+
+let to_c e = render 0 e
+
+let pp fmt e = Format.pp_print_string fmt (to_c e)

@@ -1,0 +1,49 @@
+(** Stencil expression AST.
+
+    An expression computes the value written to the output grid at the
+    "center" point from input-field values at constant relative offsets —
+    the language YASK's stencil compiler accepts, minus its temporal
+    conditionals. Coefficients may be literal constants or named symbols
+    resolved when the kernel is compiled. *)
+
+type access = {
+  field : int;  (** input field index *)
+  offsets : int array;  (** relative offsets, slowest dimension first *)
+}
+
+type t =
+  | Const of float
+  | Coeff of string  (** named scalar parameter *)
+  | Ref of access
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+
+val equal : t -> t -> bool
+
+val fold_accesses : t -> init:'a -> f:('a -> access -> 'a) -> 'a
+(** Left fold over every [Ref] node (with repetitions, in evaluation
+    order). *)
+
+val coeff_names : t -> string list
+(** Sorted, de-duplicated names of [Coeff] nodes. *)
+
+val subst_coeffs : (string -> float option) -> t -> t
+(** Replace named coefficients that the environment resolves by
+    constants. *)
+
+val map_accesses : (access -> access) -> t -> t
+(** Rewrite every [Ref] node (used by fusion and shifting passes). *)
+
+val subst_accesses : (access -> t) -> t -> t
+(** Replace every [Ref] node by an arbitrary expression — the stage-fusion
+    primitive: substituting "y + h * sum a_ij k_j" for each input access
+    folds a Runge–Kutta stage's linear combination into the stencil. *)
+
+val to_c : t -> string
+(** Render as a C-like expression, with accesses shown as
+    [f0(z-1,y,x)]-style calls — the shape of YASK-generated scalar code. *)
+
+val pp : Format.formatter -> t -> unit

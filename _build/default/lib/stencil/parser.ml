@@ -1,0 +1,248 @@
+(* Hand-written lexer and recursive-descent parser for the stencil
+   expression language. Kept dependency-free (no menhir) since the
+   grammar is small and errors should carry friendly positions. *)
+
+type token =
+  | Num of float
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Plus
+  | Minus
+  | Star
+  | Slash
+
+exception Parse_error of int * string (* position, message *)
+
+let fail pos fmt = Printf.ksprintf (fun m -> raise (Parse_error (pos, m))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || is_digit c
+
+let lex src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push tok pos = tokens := (tok, pos) :: !tokens in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c || c = '.' then begin
+      let j = ref !i in
+      (* digits, optional fraction, optional exponent *)
+      while !j < n && (is_digit src.[!j] || src.[!j] = '.') do
+        incr j
+      done;
+      if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then begin
+        incr j;
+        if !j < n && (src.[!j] = '+' || src.[!j] = '-') then incr j;
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done
+      end;
+      let text = String.sub src !i (!j - !i) in
+      (match float_of_string_opt text with
+      | Some v -> push (Num v) pos
+      | None -> fail pos "malformed number %S" text);
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident src.[!j] do
+        incr j
+      done;
+      push (Ident (String.sub src !i (!j - !i))) pos;
+      i := !j
+    end
+    else begin
+      (match c with
+      | '(' -> push Lparen pos
+      | ')' -> push Rparen pos
+      | ',' -> push Comma pos
+      | '+' -> push Plus pos
+      | '-' -> push Minus pos
+      | '*' -> push Star pos
+      | '/' -> push Slash pos
+      | _ -> fail pos "unexpected character %C" c);
+      incr i
+    end
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+type state = { mutable toks : (token * int) list; len : int }
+
+let peek st = match st.toks with [] -> None | (t, p) :: _ -> Some (t, p)
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  match peek st with
+  | Some (t, _) when t = tok -> advance st
+  | Some (_, p) -> fail p "expected %s" what
+  | None -> fail st.len "expected %s at end of input" what
+
+let axes_for rank =
+  match rank with
+  | 1 -> [ ("x", 0) ]
+  | 2 -> [ ("y", 0); ("x", 1) ]
+  | _ -> [ ("z", 0); ("y", 1); ("x", 2) ]
+
+(* A coordinate: axis, axis+k, axis-k, or a bare (possibly negative)
+   integer that must belong to the axis at this position. *)
+let parse_coord st ~axes ~dim_index =
+  match peek st with
+  | Some (Ident name, p) -> (
+      advance st;
+      let dim =
+        match List.assoc_opt name axes with
+        | Some d -> d
+        | None -> fail p "unknown axis %S" name
+      in
+      if dim <> dim_index then
+        fail p "axis %S in position %d (expected position %d)" name dim_index
+          dim;
+      match peek st with
+      | Some (Plus, _) -> (
+          advance st;
+          match peek st with
+          | Some (Num v, _) ->
+              advance st;
+              int_of_float v
+          | Some (_, q) -> fail q "expected offset after '+'"
+          | None -> fail st.len "expected offset after '+'")
+      | Some (Minus, _) -> (
+          advance st;
+          match peek st with
+          | Some (Num v, _) ->
+              advance st;
+              -int_of_float v
+          | Some (_, q) -> fail q "expected offset after '-'"
+          | None -> fail st.len "expected offset after '-'")
+      | _ -> 0)
+  | Some (Num v, _) ->
+      advance st;
+      int_of_float v
+  | Some (Minus, _) -> (
+      advance st;
+      match peek st with
+      | Some (Num v, _) ->
+          advance st;
+          -int_of_float v
+      | Some (_, p) -> fail p "expected number after '-'"
+      | None -> fail st.len "expected number after '-'")
+  | Some (_, p) -> fail p "expected coordinate"
+  | None -> fail st.len "expected coordinate"
+
+let field_of_ident name =
+  if String.length name >= 2 && name.[0] = 'f' then
+    int_of_string_opt (String.sub name 1 (String.length name - 1))
+  else None
+
+let rec parse_sum st ~rank =
+  let lhs = ref (parse_term st ~rank) in
+  let rec loop () =
+    match peek st with
+    | Some (Plus, _) ->
+        advance st;
+        lhs := Expr.Add (!lhs, parse_term st ~rank);
+        loop ()
+    | Some (Minus, _) ->
+        advance st;
+        lhs := Expr.Sub (!lhs, parse_term st ~rank);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_term st ~rank =
+  let lhs = ref (parse_unary st ~rank) in
+  let rec loop () =
+    match peek st with
+    | Some (Star, _) ->
+        advance st;
+        lhs := Expr.Mul (!lhs, parse_unary st ~rank);
+        loop ()
+    | Some (Slash, _) ->
+        advance st;
+        lhs := Expr.Div (!lhs, parse_unary st ~rank);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_unary st ~rank =
+  match peek st with
+  | Some (Minus, _) ->
+      advance st;
+      Expr.Neg (parse_unary st ~rank)
+  | _ -> parse_atom st ~rank
+
+and parse_atom st ~rank =
+  match peek st with
+  | Some (Num v, _) ->
+      advance st;
+      Expr.Const v
+  | Some (Lparen, _) ->
+      advance st;
+      let e = parse_sum st ~rank in
+      expect st Rparen "')'";
+      e
+  | Some (Ident name, p) -> (
+      advance st;
+      match (field_of_ident name, peek st) with
+      | Some field, Some (Lparen, _) ->
+          advance st;
+          let axes = axes_for rank in
+          let offsets = Array.make rank 0 in
+          for dim = 0 to rank - 1 do
+            if dim > 0 then expect st Comma "','";
+            offsets.(dim) <- parse_coord st ~axes ~dim_index:dim
+          done;
+          expect st Rparen "')'";
+          Expr.Ref { Expr.field; offsets }
+      | _, Some (Lparen, _) -> fail p "unknown function %S" name
+      | _, _ -> Expr.Coeff name)
+  | Some (_, p) -> fail p "expected expression"
+  | None -> fail st.len "expected expression"
+
+let parse_expr ~rank src =
+  if rank < 1 || rank > 3 then Error "rank must be 1..3"
+  else begin
+    try
+      let st = { toks = lex src; len = String.length src } in
+      let e = parse_sum st ~rank in
+      match peek st with
+      | Some (_, p) -> Error (Printf.sprintf "at %d: trailing input" p)
+      | None -> Ok e
+    with Parse_error (pos, msg) -> Error (Printf.sprintf "at %d: %s" pos msg)
+  end
+
+let parse_spec ~name ~rank ?n_fields src =
+  match parse_expr ~rank src with
+  | Error _ as e -> e
+  | Ok expr -> (
+      let n_fields =
+        match n_fields with
+        | Some n -> n
+        | None ->
+            (* Infer from the highest referenced field. *)
+            1
+            + Expr.fold_accesses expr ~init:0 ~f:(fun m (a : Expr.access) ->
+                  max m a.Expr.field)
+      in
+      try Ok (Spec.v ~name ~rank ~n_fields expr)
+      with Invalid_argument m -> Error m)

@@ -1,0 +1,25 @@
+(** Parser for the textual stencil language — the inverse of
+    {!Expr.to_c}, so kernels can be given to the CLI as strings.
+
+    Grammar (precedence climbing, left-associative):
+
+    {v
+      expr   ::= term (('+' | '-') term)*
+      term   ::= unary (('*' | '/') unary)*
+      unary  ::= '-' unary | atom
+      atom   ::= number | name | access | '(' expr ')'
+      access ::= 'f' digits '(' coord (',' coord)* ')'
+      coord  ::= axis (('+' | '-') digits)? | '-'? digits
+    v}
+
+    Axis names map to dimensions by rank: rank 3 uses [z,y,x], rank 2
+    [y,x], rank 1 [x] (the convention {!Expr.to_c} prints). A bare name
+    that is not an access is a symbolic coefficient. *)
+
+val parse_expr : rank:int -> string -> (Expr.t, string) result
+(** Parse an expression; errors carry a position and a description. *)
+
+val parse_spec :
+  name:string -> rank:int -> ?n_fields:int -> string -> (Spec.t, string) result
+(** Parse and validate a whole kernel ([Spec.v] errors are reported as
+    [Error]). *)

@@ -1,0 +1,85 @@
+open Dsl
+
+let copy_1d = Spec.v ~name:"copy-1d" ~rank:1 (fld [ 0 ])
+
+let scale_1d = Spec.v ~name:"scale-1d" ~rank:1 (p "s" *: fld [ 0 ])
+
+let heat_1d_3pt =
+  Spec.v ~name:"heat-1d-3pt" ~rank:1
+    ((p "r" *: (fld [ -1 ] +: fld [ 1 ])) +: (p "c" *: fld [ 0 ]))
+
+let heat_2d_5pt =
+  Spec.v ~name:"heat-2d-5pt" ~rank:2
+    ((p "r" *: sum [ fld [ -1; 0 ]; fld [ 1; 0 ]; fld [ 0; -1 ]; fld [ 0; 1 ] ])
+    +: (p "c" *: fld [ 0; 0 ]))
+
+let box_2d_9pt =
+  let cells =
+    List.concat_map
+      (fun dy -> List.map (fun dx -> fld [ dy; dx ]) [ -1; 0; 1 ])
+      [ -1; 0; 1 ]
+  in
+  Spec.v ~name:"box-2d-9pt" ~rank:2 (p "w" *: sum cells)
+
+let heat_3d_7pt =
+  Spec.v ~name:"heat-3d-7pt" ~rank:3
+    ((p "r"
+     *: sum
+          [ fld [ -1; 0; 0 ]; fld [ 1; 0; 0 ]; fld [ 0; -1; 0 ];
+            fld [ 0; 1; 0 ]; fld [ 0; 0; -1 ]; fld [ 0; 0; 1 ] ])
+    +: (p "c" *: fld [ 0; 0; 0 ]))
+
+let box_3d_27pt =
+  let cells =
+    List.concat_map
+      (fun dz ->
+        List.concat_map
+          (fun dy -> List.map (fun dx -> fld [ dz; dy; dx ]) [ -1; 0; 1 ])
+          [ -1; 0; 1 ])
+      [ -1; 0; 1 ]
+  in
+  Spec.v ~name:"box-3d-27pt" ~rank:3 (p "w" *: sum cells)
+
+let star_3d_r2 =
+  let axis d =
+    match d with
+    | 0 -> [ fld [ -2; 0; 0 ]; fld [ -1; 0; 0 ]; fld [ 1; 0; 0 ]; fld [ 2; 0; 0 ] ]
+    | 1 -> [ fld [ 0; -2; 0 ]; fld [ 0; -1; 0 ]; fld [ 0; 1; 0 ]; fld [ 0; 2; 0 ] ]
+    | _ -> [ fld [ 0; 0; -2 ]; fld [ 0; 0; -1 ]; fld [ 0; 0; 1 ]; fld [ 0; 0; 2 ] ]
+  in
+  Spec.v ~name:"star-3d-r2" ~rank:3
+    ((p "r" *: sum (axis 0 @ axis 1 @ axis 2)) +: (p "c" *: fld [ 0; 0; 0 ]))
+
+let varcoef_3d_7pt =
+  Spec.v ~name:"varcoef-3d-7pt" ~rank:3 ~n_fields:2
+    (fld [ 0; 0; 0 ]
+    +: (p "r" *: fld ~field:1 [ 0; 0; 0 ]
+       *: sum
+            [ fld [ -1; 0; 0 ]; fld [ 1; 0; 0 ]; fld [ 0; -1; 0 ];
+              fld [ 0; 1; 0 ]; fld [ 0; 0; -1 ]; fld [ 0; 0; 1 ];
+              neg (c 6.0 *: fld [ 0; 0; 0 ]) ]))
+
+let all =
+  [ copy_1d; scale_1d; heat_1d_3pt; heat_2d_5pt; box_2d_9pt; heat_3d_7pt;
+    box_3d_27pt; star_3d_r2; varcoef_3d_7pt ]
+
+let eval_suite =
+  [ heat_2d_5pt; box_2d_9pt; heat_3d_7pt; box_3d_27pt; star_3d_r2;
+    varcoef_3d_7pt ]
+
+let find name = List.find (fun (s : Spec.t) -> s.name = name) all
+
+let default_values =
+  [ ("r", 0.1); ("c", 0.4); ("w", 1.0 /. 27.0); ("s", 2.0) ]
+
+let resolve_defaults spec =
+  let names = Expr.coeff_names spec.Spec.expr in
+  let bindings =
+    List.map
+      (fun n ->
+        match List.assoc_opt n default_values with
+        | Some v -> (n, v)
+        | None -> (n, 0.5))
+      names
+  in
+  Spec.resolve spec bindings

@@ -1,0 +1,1 @@
+lib/tuner/tuner.ml: List Sys Yasksite_arch Yasksite_ecm Yasksite_engine Yasksite_stencil

@@ -1,0 +1,1 @@
+lib/tuner/tuner.mli: Yasksite_arch Yasksite_ecm Yasksite_stencil

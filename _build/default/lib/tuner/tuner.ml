@@ -1,0 +1,82 @@
+module Machine = Yasksite_arch.Machine
+module Spec = Yasksite_stencil.Spec
+module Analysis = Yasksite_stencil.Analysis
+module Config = Yasksite_ecm.Config
+module Model = Yasksite_ecm.Model
+module Advisor = Yasksite_ecm.Advisor
+module Measure = Yasksite_engine.Measure
+
+type result = {
+  chosen : Config.t;
+  predicted_lups : float option;
+  measured_lups : float;
+  model_evaluations : int;
+  kernel_runs : int;
+  wall_seconds : float;
+}
+
+let tune_analytic m spec ~dims ~threads =
+  let t0 = Sys.time () in
+  let info = Analysis.of_spec spec in
+  let ranked = Advisor.rank_all m info ~dims ~threads in
+  let chosen, prediction =
+    match ranked with
+    | [] -> invalid_arg "Tuner.tune_analytic: empty space"
+    | (c, p) :: _ -> (c, p)
+  in
+  let meas = Measure.stencil_sweep m spec ~dims ~config:chosen in
+  { chosen;
+    predicted_lups = Some prediction.Model.lups_chip;
+    measured_lups = meas.Measure.lups_chip;
+    model_evaluations = List.length ranked;
+    kernel_runs = 1;
+    wall_seconds = Sys.time () -. t0 }
+
+let tune_empirical ?space m spec ~dims ~threads =
+  let t0 = Sys.time () in
+  let space =
+    match space with
+    | Some s -> s
+    | None ->
+        let rank = spec.Spec.rank in
+        Advisor.space m ~dims ~threads ~rank
+  in
+  if space = [] then invalid_arg "Tuner.tune_empirical: empty space";
+  let best = ref None in
+  let runs = ref 0 in
+  List.iter
+    (fun config ->
+      let meas = Measure.stencil_sweep m spec ~dims ~config in
+      incr runs;
+      let lups = meas.Measure.lups_chip in
+      match !best with
+      | Some (_, best_lups) when best_lups >= lups -> ()
+      | _ -> best := Some (config, lups))
+    space;
+  let chosen, measured_lups =
+    match !best with Some cl -> cl | None -> assert false
+  in
+  { chosen;
+    predicted_lups = None;
+    measured_lups;
+    model_evaluations = 0;
+    kernel_runs = !runs;
+    wall_seconds = Sys.time () -. t0 }
+
+type comparison = {
+  analytic : result;
+  empirical : result;
+  cost_ratio : float;
+  wall_ratio : float;
+  quality : float;
+}
+
+let compare_strategies ?space m spec ~dims ~threads =
+  let analytic = tune_analytic m spec ~dims ~threads in
+  let empirical = tune_empirical ?space m spec ~dims ~threads in
+  { analytic;
+    empirical;
+    cost_ratio =
+      float_of_int empirical.kernel_runs /. float_of_int analytic.kernel_runs;
+    wall_ratio = empirical.wall_seconds /. max 1e-9 analytic.wall_seconds;
+    quality = analytic.measured_lups /. empirical.measured_lups }

@@ -1,0 +1,61 @@
+(** Kernel autotuning: analytic (model-ranked, the YaskSite approach)
+    versus empirical (run every candidate, the baseline it replaces),
+    with cost accounting for the paper's tuning-cost comparison.
+
+    The analytic tuner never executes a kernel: it ranks the whole
+    parameter space with the ECM model and returns the top
+    configuration. The empirical tuner executes every candidate on the
+    simulated machine and picks the best measured one. Their cost ratio
+    and the quality gap of the analytic choice are the subject of
+    experiment E9. *)
+
+type result = {
+  chosen : Yasksite_ecm.Config.t;
+  predicted_lups : float option;
+      (** the model's score for [chosen] (None for the empirical tuner) *)
+  measured_lups : float;
+      (** validation measurement of [chosen] at full thread count *)
+  model_evaluations : int;  (** analytic work performed *)
+  kernel_runs : int;  (** kernels executed (incl. the validation run) *)
+  wall_seconds : float;  (** CPU cost of the whole tuning pass *)
+}
+
+val tune_analytic :
+  Yasksite_arch.Machine.t ->
+  Yasksite_stencil.Spec.t ->
+  dims:int array ->
+  threads:int ->
+  result
+(** Rank the full advisor space with the ECM model, then run one
+    validation measurement of the winner. *)
+
+val tune_empirical :
+  ?space:Yasksite_ecm.Config.t list ->
+  Yasksite_arch.Machine.t ->
+  Yasksite_stencil.Spec.t ->
+  dims:int array ->
+  threads:int ->
+  result
+(** Execute every configuration of [space] (default: the same advisor
+    space the analytic tuner ranks) and keep the best measured one. *)
+
+type comparison = {
+  analytic : result;
+  empirical : result;
+  cost_ratio : float;
+      (** empirical kernel-runs per analytic kernel-run (>= 1 when the
+          model pays off) *)
+  wall_ratio : float;  (** empirical wall time / analytic wall time *)
+  quality : float;
+      (** measured performance of the analytic choice relative to the
+          empirical optimum (1.0 = found the same optimum) *)
+}
+
+val compare_strategies :
+  ?space:Yasksite_ecm.Config.t list ->
+  Yasksite_arch.Machine.t ->
+  Yasksite_stencil.Spec.t ->
+  dims:int array ->
+  threads:int ->
+  comparison
+(** Run both tuners on the same kernel and summarise the trade-off. *)

@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of the library (workload generators, noise
+    models, property-test helpers) draw from this splittable generator so
+    that every experiment is bit-reproducible across runs and platforms,
+    independent of the [Random] module's global state. *)
+
+type t
+(** Mutable generator state (splitmix64). *)
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> bound:int -> int
+(** [int t ~bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val float_range : t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

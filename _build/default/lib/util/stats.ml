@@ -1,0 +1,97 @@
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty input")
+
+let mean a =
+  check_nonempty "Stats.mean" a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let geomean a =
+  check_nonempty "Stats.geomean" a;
+  let sum_logs =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive entry";
+        acc +. log x)
+      0.0 a
+  in
+  exp (sum_logs /. float_of_int (Array.length a))
+
+let stddev a =
+  check_nonempty "Stats.stddev" a;
+  let n = Array.length a in
+  if n = 1 then 0.0
+  else begin
+    let m = mean a in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let percentile a ~p =
+  check_nonempty "Stats.percentile" a;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  if n = 1 then b.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+  end
+
+let median a = percentile a ~p:50.0
+
+let minimum a =
+  check_nonempty "Stats.minimum" a;
+  Array.fold_left min a.(0) a
+
+let maximum a =
+  check_nonempty "Stats.maximum" a;
+  Array.fold_left max a.(0) a
+
+let rel_error ~predicted ~measured =
+  if measured = 0.0 then invalid_arg "Stats.rel_error: zero measurement";
+  (predicted -. measured) /. measured
+
+let abs_rel_error ~predicted ~measured =
+  abs_float (rel_error ~predicted ~measured)
+
+let kendall_tau a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Stats.kendall_tau: length mismatch";
+  if n < 2 then invalid_arg "Stats.kendall_tau: need at least two points";
+  let concordant = ref 0 and discordant = ref 0 in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      let da = compare a.(i) a.(j) and db = compare b.(i) b.(j) in
+      if da * db > 0 then incr concordant
+      else if da * db < 0 then incr discordant
+    done
+  done;
+  let pairs = n * (n - 1) / 2 in
+  float_of_int (!concordant - !discordant) /. float_of_int pairs
+
+let argbest ~better_is_lower a =
+  check_nonempty "Stats.argbest" a;
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    let improves =
+      if better_is_lower then a.(i) < a.(!best) else a.(i) > a.(!best)
+    in
+    if improves then best := i
+  done;
+  !best
+
+let top1_agrees ~better_is_lower a b =
+  argbest ~better_is_lower a = argbest ~better_is_lower b
+
+let linspace ~lo ~hi ~n =
+  if n < 2 then invalid_arg "Stats.linspace: need n >= 2";
+  Array.init n (fun i ->
+      lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))

@@ -1,0 +1,38 @@
+(** Descriptive statistics and comparison metrics used throughout the
+    experiment harness. All functions raise [Invalid_argument] on empty
+    input unless stated otherwise. *)
+
+val mean : float array -> float
+
+val geomean : float array -> float
+(** Geometric mean; requires strictly positive entries. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0 for singletons. *)
+
+val median : float array -> float
+
+val percentile : float array -> p:float -> float
+(** Linear-interpolation percentile, [p] in [\[0, 100\]]. *)
+
+val minimum : float array -> float
+
+val maximum : float array -> float
+
+val rel_error : predicted:float -> measured:float -> float
+(** [(predicted - measured) / measured]; signed. [measured] must be
+    non-zero. *)
+
+val abs_rel_error : predicted:float -> measured:float -> float
+(** Absolute value of {!rel_error}. *)
+
+val kendall_tau : float array -> float array -> float
+(** Kendall rank-correlation coefficient (tau-a) between two equal-length
+    score vectors; 1.0 means identical ranking, -1.0 reversed. Arrays must
+    have equal length >= 2. *)
+
+val top1_agrees : better_is_lower:bool -> float array -> float array -> bool
+(** Whether both score vectors select the same best index. *)
+
+val linspace : lo:float -> hi:float -> n:int -> float array
+(** [n] evenly spaced points from [lo] to [hi] inclusive; [n >= 2]. *)

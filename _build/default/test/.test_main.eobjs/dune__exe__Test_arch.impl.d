@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Array Astring_contains Cache_level List Machine Machine_file Printf Yasksite_arch Yasksite_util

@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Array Hierarchy Level QCheck QCheck_alcotest Yasksite_arch Yasksite_cachesim Yasksite_util

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Astring_contains Config Machine Machine_file Model Stencil String Yasksite Yasksite_ecm Yasksite_engine

@@ -1,0 +1,1 @@
+test/test_ecm.ml: Advisor Alcotest Array Astring_contains Config Float Incore Lc List Model Printf Yasksite_arch Yasksite_ecm Yasksite_stencil

@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Array Hashtbl QCheck QCheck_alcotest Yasksite_grid Yasksite_util

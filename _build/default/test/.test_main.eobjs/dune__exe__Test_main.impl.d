@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_arch Test_cachesim Test_core Test_ecm Test_engine Test_grid Test_ode Test_offsite Test_stencil Test_tuner Test_util

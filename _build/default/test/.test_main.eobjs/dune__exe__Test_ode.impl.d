@@ -1,0 +1,1 @@
+test/test_ode.ml: Alcotest Array Float Ivp List Pde Printf Rk Tableau Yasksite_grid Yasksite_ode Yasksite_stencil

@@ -1,0 +1,1 @@
+test/test_offsite.ml: Alcotest Array Executor Float List Offsite Printf Variant Yasksite_arch Yasksite_ecm Yasksite_grid Yasksite_ode Yasksite_offsite Yasksite_stencil

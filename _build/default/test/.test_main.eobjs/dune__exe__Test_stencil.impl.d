@@ -1,0 +1,1 @@
+test/test_stencil.ml: Alcotest Analysis Array Astring_contains Compile Dsl Expr Gen List Parser QCheck QCheck_alcotest Spec Suite Yasksite_grid Yasksite_stencil Yasksite_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Astring_contains Chart List Prng QCheck QCheck_alcotest Stats String Table Units Yasksite_util

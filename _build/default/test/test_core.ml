@@ -1,0 +1,73 @@
+open Yasksite
+
+let machine = Machine.test_chip
+
+let spec = Stencil.Suite.resolve_defaults Stencil.Suite.heat_2d_5pt
+
+let test_kernel_validation () =
+  Alcotest.check_raises "rank mismatch"
+    (Invalid_argument "Yasksite.kernel: dims rank mismatch") (fun () ->
+      ignore (kernel ~machine ~dims:[| 8 |] spec));
+  Alcotest.check_raises "unresolved"
+    (Invalid_argument "Yasksite.kernel: unresolved coefficient \"c\"")
+    (fun () ->
+      ignore (kernel ~machine ~dims:[| 8; 8 |] Stencil.Suite.heat_2d_5pt))
+
+let test_predict_measure () =
+  let k = kernel ~machine ~dims:[| 48; 48 |] spec in
+  let config = Config.v ~threads:2 () in
+  let p = predict k ~config in
+  Alcotest.(check bool) "prediction positive" true (p.Model.lups_chip > 0.0);
+  let m = measure k ~config in
+  Alcotest.(check bool) "measurement positive" true
+    (m.Yasksite_engine.Measure.lups_chip > 0.0)
+
+let test_autotune () =
+  let k = kernel ~machine ~dims:[| 48; 48 |] spec in
+  let config, p = autotune k ~threads:2 in
+  Alcotest.(check int) "threads" 2 config.Config.threads;
+  let naive = predict k ~config:(Config.v ~threads:2 ()) in
+  Alcotest.(check bool) "tuned at least naive" true
+    (p.Model.lups_chip >= naive.Model.lups_chip)
+
+let test_report () =
+  let k = kernel ~machine ~dims:[| 32; 32 |] spec in
+  let s = report k ~config:(Config.v ()) in
+  Alcotest.(check bool) "mentions prediction" true
+    (Astring_contains.contains s "predicted");
+  Alcotest.(check bool) "mentions measurement" true
+    (Astring_contains.contains s "measured");
+  Alcotest.(check bool) "mentions machine" true
+    (Astring_contains.contains s "TestChip")
+
+let test_version () =
+  Alcotest.(check bool) "non-empty" true (String.length version > 0)
+
+let test_facade_exports () =
+  (* The facade re-exports the auxiliary subsystems. *)
+  (match Machine_file.parse (Machine_file.render Machine.test_chip) with
+  | Ok m -> Alcotest.(check string) "machine file" "TestChip" m.Machine.name
+  | Error e -> Alcotest.fail e);
+  (match Stencil.Parser.parse_expr ~rank:1 "f0(x-1) + f0(x+1)" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let info = Stencil.Analysis.of_spec spec in
+  let rl = Yasksite_ecm.Roofline.predict machine info ~threads:1 in
+  Alcotest.(check bool) "roofline reachable" true
+    (rl.Yasksite_ecm.Roofline.lups_single > 0.0)
+
+let test_explain_via_facade () =
+  let k = kernel ~machine ~dims:[| 32; 32 |] spec in
+  let p = predict k ~config:(Config.v ()) in
+  let s = Model.explain machine k.info p in
+  Alcotest.(check bool) "explain mentions composition" true
+    (Astring_contains.contains s "composition")
+
+let suite =
+  [ Alcotest.test_case "kernel validation" `Quick test_kernel_validation;
+    Alcotest.test_case "facade exports" `Quick test_facade_exports;
+    Alcotest.test_case "explain via facade" `Quick test_explain_via_facade;
+    Alcotest.test_case "predict/measure" `Quick test_predict_measure;
+    Alcotest.test_case "autotune" `Quick test_autotune;
+    Alcotest.test_case "report" `Quick test_report;
+    Alcotest.test_case "version" `Quick test_version ]

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "yasksite"
+    [ ("util", Test_util.suite);
+      ("arch", Test_arch.suite);
+      ("grid", Test_grid.suite);
+      ("stencil", Test_stencil.suite);
+      ("cachesim", Test_cachesim.suite);
+      ("ecm", Test_ecm.suite);
+      ("engine", Test_engine.suite);
+      ("tuner", Test_tuner.suite);
+      ("ode", Test_ode.suite);
+      ("offsite", Test_offsite.suite);
+      ("core", Test_core.suite) ]

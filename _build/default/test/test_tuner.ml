@@ -1,0 +1,63 @@
+module Machine = Yasksite_arch.Machine
+module Suite = Yasksite_stencil.Suite
+module Config = Yasksite_ecm.Config
+module Tuner = Yasksite_tuner.Tuner
+
+let machine = Machine.test_chip
+
+let spec = Suite.resolve_defaults Suite.heat_2d_5pt
+
+let dims = [| 48; 48 |]
+
+let test_analytic () =
+  let r = Tuner.tune_analytic machine spec ~dims ~threads:2 in
+  Alcotest.(check int) "single validation run" 1 r.Tuner.kernel_runs;
+  Alcotest.(check bool) "several model evals" true
+    (r.Tuner.model_evaluations > 4);
+  Alcotest.(check bool) "has prediction" true (r.Tuner.predicted_lups <> None);
+  Alcotest.(check bool) "measured positive" true (r.Tuner.measured_lups > 0.0);
+  Alcotest.(check int) "threads respected" 2 r.Tuner.chosen.Config.threads
+
+let test_empirical () =
+  let space =
+    [ Config.v ~threads:2 (); Config.v ~threads:2 ~block:[| 0; 16 |] () ]
+  in
+  let r = Tuner.tune_empirical ~space machine spec ~dims ~threads:2 in
+  Alcotest.(check int) "ran whole space" 2 r.Tuner.kernel_runs;
+  Alcotest.(check bool) "no model evals" true (r.Tuner.model_evaluations = 0);
+  Alcotest.(check bool) "picked from space" true
+    (List.exists (fun c -> Config.equal c r.Tuner.chosen) space)
+
+let test_empirical_picks_best () =
+  (* The chosen config's measurement must be the max over the space. *)
+  let space =
+    [ Config.v ~threads:1 ();
+      Config.v ~threads:1 ~block:[| 0; 8 |] ();
+      Config.v ~threads:1 ~fold:[| 1; 4 |] () ]
+  in
+  let r = Tuner.tune_empirical ~space machine spec ~dims ~threads:1 in
+  List.iter
+    (fun config ->
+      let m =
+        Yasksite_engine.Measure.stencil_sweep machine spec ~dims ~config
+      in
+      Alcotest.(check bool) "chosen is at least this one" true
+        (r.Tuner.measured_lups >= m.Yasksite_engine.Measure.lups_chip -. 1.0))
+    space
+
+let test_compare () =
+  let space =
+    [ Config.v ~threads:2 ();
+      Config.v ~threads:2 ~block:[| 0; 16 |] ();
+      Config.v ~threads:2 ~block:[| 0; 32 |] () ]
+  in
+  let c = Tuner.compare_strategies ~space machine spec ~dims ~threads:2 in
+  Alcotest.(check (float 1e-9)) "cost ratio" 3.0 c.Tuner.cost_ratio;
+  Alcotest.(check bool) "quality sane" true
+    (c.Tuner.quality > 0.3 && c.Tuner.quality < 3.0)
+
+let suite =
+  [ Alcotest.test_case "analytic tuner" `Quick test_analytic;
+    Alcotest.test_case "empirical tuner" `Quick test_empirical;
+    Alcotest.test_case "empirical picks best" `Quick test_empirical_picks_best;
+    Alcotest.test_case "compare strategies" `Quick test_compare ]

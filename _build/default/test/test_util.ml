@@ -1,0 +1,214 @@
+open Yasksite_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  check_float "singleton" 5.0 (Stats.mean [| 5.0 |])
+
+let test_geomean () =
+  check_float "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |]);
+  Alcotest.check_raises "non-positive" (Invalid_argument "Stats.geomean: non-positive entry")
+    (fun () -> ignore (Stats.geomean [| 1.0; 0.0 |]))
+
+let test_stddev () =
+  check_float "stddev" 1.0 (Stats.stddev [| 1.0; 2.0; 3.0 |]);
+  check_float "constant" 0.0 (Stats.stddev [| 4.0; 4.0; 4.0 |]);
+  check_float "singleton" 0.0 (Stats.stddev [| 7.0 |])
+
+let test_median_percentile () =
+  check_float "median odd" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |]);
+  check_float "median even" 2.5 (Stats.median [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "p0" 1.0 (Stats.percentile [| 3.0; 1.0; 2.0 |] ~p:0.0);
+  check_float "p100" 3.0 (Stats.percentile [| 3.0; 1.0; 2.0 |] ~p:100.0);
+  check_float "p50 interp" 1.5 (Stats.percentile [| 1.0; 2.0 |] ~p:50.0)
+
+let test_minmax () =
+  check_float "min" (-2.0) (Stats.minimum [| 3.0; -2.0; 1.0 |]);
+  check_float "max" 3.0 (Stats.maximum [| 3.0; -2.0; 1.0 |])
+
+let test_rel_error () =
+  check_float "signed" (-0.5) (Stats.rel_error ~predicted:1.0 ~measured:2.0);
+  check_float "abs" 0.5 (Stats.abs_rel_error ~predicted:1.0 ~measured:2.0);
+  Alcotest.check_raises "zero measured"
+    (Invalid_argument "Stats.rel_error: zero measurement") (fun () ->
+      ignore (Stats.rel_error ~predicted:1.0 ~measured:0.0))
+
+let test_kendall () =
+  check_float "identical" 1.0
+    (Stats.kendall_tau [| 1.0; 2.0; 3.0 |] [| 10.0; 20.0; 30.0 |]);
+  check_float "reversed" (-1.0)
+    (Stats.kendall_tau [| 1.0; 2.0; 3.0 |] [| 3.0; 2.0; 1.0 |]);
+  check_float "partial" (1.0 /. 3.0)
+    (Stats.kendall_tau [| 1.0; 2.0; 3.0 |] [| 1.0; 3.0; 2.0 |])
+
+let test_top1 () =
+  Alcotest.(check bool)
+    "agree lower" true
+    (Stats.top1_agrees ~better_is_lower:true [| 3.0; 1.0; 2.0 |]
+       [| 30.0; 10.0; 20.0 |]);
+  Alcotest.(check bool)
+    "disagree" false
+    (Stats.top1_agrees ~better_is_lower:true [| 3.0; 1.0; 2.0 |]
+       [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check bool)
+    "agree higher" true
+    (Stats.top1_agrees ~better_is_lower:false [| 3.0; 1.0; 2.0 |]
+       [| 30.0; 10.0; 20.0 |])
+
+let test_linspace () =
+  let a = Stats.linspace ~lo:0.0 ~hi:1.0 ~n:5 in
+  Alcotest.(check int) "length" 5 (Array.length a);
+  check_float "first" 0.0 a.(0);
+  check_float "last" 1.0 a.(4);
+  check_float "middle" 0.5 a.(2)
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.int64 a) (Prng.int64 b)
+  done;
+  let c = Prng.create ~seed:8 in
+  Alcotest.(check bool)
+    "different seed differs" true
+    (Prng.int64 (Prng.create ~seed:7) <> Prng.int64 c)
+
+let test_prng_split () =
+  let a = Prng.create ~seed:7 in
+  let b = Prng.split a in
+  Alcotest.(check bool) "split independent" true (Prng.int64 a <> Prng.int64 b)
+
+let prng_bounds =
+  QCheck.Test.make ~name:"prng int within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create ~seed in
+      let v = Prng.int rng ~bound in
+      v >= 0 && v < bound)
+
+let prng_float_unit =
+  QCheck.Test.make ~name:"prng float in [0,1)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let v = Prng.float rng in
+      v >= 0.0 && v < 1.0)
+
+let shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      let rng = Prng.create ~seed in
+      Prng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let test_table () =
+  let t =
+    Table.create ~title:"T" ~columns:[ ("name", Table.Left); ("v", Table.Right) ] ()
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_sep t;
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check bool) "contains alpha" true
+    (Astring_contains.contains s "alpha");
+  Alcotest.(check bool) "contains 22" true (Astring_contains.contains s "22");
+  Alcotest.check_raises "bad row"
+    (Invalid_argument "Table.add_row: cell count mismatch") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+let test_table_cells () =
+  Alcotest.(check string) "cell_f" "3.14" (Table.cell_f ~prec:2 3.14159);
+  Alcotest.(check string) "cell_pct" "7.3%" (Table.cell_pct 0.073)
+
+let test_chart_line () =
+  let s =
+    Chart.line ~title:"t" ~x_label:"x" ~y_label:"y"
+      [ { Chart.label = "a"; points = [| (0.0, 0.0); (1.0, 1.0) |] };
+        { Chart.label = "b"; points = [| (0.0, 1.0); (1.0, 0.0) |] } ]
+  in
+  Alcotest.(check bool) "mentions labels" true
+    (Astring_contains.contains s "a" && Astring_contains.contains s "b");
+  Alcotest.(check bool) "has glyph" true (Astring_contains.contains s "*")
+
+let test_chart_bars () =
+  let s = Chart.bars ~title:"b" [ ("one", 1.0); ("two", 2.0) ] in
+  Alcotest.(check bool) "contains one" true (Astring_contains.contains s "one");
+  Alcotest.check_raises "negative" (Invalid_argument "Chart.bars: negative value")
+    (fun () -> ignore (Chart.bars ~title:"b" [ ("x", -1.0) ]))
+
+let test_units () =
+  Alcotest.(check string) "bytes" "48 KiB" (Units.bytes 49152);
+  Alcotest.(check string) "small bytes" "100 B" (Units.bytes 100);
+  Alcotest.(check string) "gbs" "105.0 GB/s" (Units.gbs 105e9);
+  Alcotest.(check string) "glups" "1.50 GLUP/s" (Units.glups 1.5e9);
+  Alcotest.(check string) "seconds ms" "1.5 ms" (Units.seconds 0.0015)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let base_suite =
+  [ Alcotest.test_case "stats mean" `Quick test_mean;
+    Alcotest.test_case "stats geomean" `Quick test_geomean;
+    Alcotest.test_case "stats stddev" `Quick test_stddev;
+    Alcotest.test_case "stats median/percentile" `Quick test_median_percentile;
+    Alcotest.test_case "stats min/max" `Quick test_minmax;
+    Alcotest.test_case "stats rel error" `Quick test_rel_error;
+    Alcotest.test_case "stats kendall tau" `Quick test_kendall;
+    Alcotest.test_case "stats top1" `Quick test_top1;
+    Alcotest.test_case "stats linspace" `Quick test_linspace;
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng split" `Quick test_prng_split;
+    qt prng_bounds;
+    qt prng_float_unit;
+    qt shuffle_is_permutation;
+    Alcotest.test_case "table render" `Quick test_table;
+    Alcotest.test_case "table cells" `Quick test_table_cells;
+    Alcotest.test_case "chart line" `Quick test_chart_line;
+    Alcotest.test_case "chart bars" `Quick test_chart_bars;
+    Alcotest.test_case "units" `Quick test_units ]
+
+let test_kendall_validation () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Stats.kendall_tau: length mismatch") (fun () ->
+      ignore (Stats.kendall_tau [| 1.0 |] [| 1.0; 2.0 |]));
+  Alcotest.check_raises "too short"
+    (Invalid_argument "Stats.kendall_tau: need at least two points")
+    (fun () -> ignore (Stats.kendall_tau [| 1.0 |] [| 1.0 |]))
+
+let test_units_more () =
+  Alcotest.(check string) "gib" "2.0 GiB" (Units.bytes (2 * 1024 * 1024 * 1024));
+  Alcotest.(check string) "mib" "1.5 MiB" (Units.bytes (3 * 512 * 1024));
+  Alcotest.(check string) "ns" "500 ns" (Units.seconds 5e-7);
+  Alcotest.(check string) "us" "12.0 us" (Units.seconds 1.2e-5);
+  Alcotest.(check string) "s" "2.50 s" (Units.seconds 2.5);
+  Alcotest.(check string) "cy/CL" "12.4 cy/CL" (Units.cy_per_cl 12.44);
+  Alcotest.(check string) "gflops" "1.50 GF/s" (Units.gflops 1.5e9)
+
+let test_chart_degenerate () =
+  (* A single flat series must not divide by zero. *)
+  let s =
+    Chart.line ~title:"flat" ~x_label:"x" ~y_label:"y"
+      [ { Chart.label = "a"; points = [| (1.0, 5.0) |] } ]
+  in
+  Alcotest.(check bool) "rendered" true (String.length s > 0);
+  Alcotest.check_raises "empty series" (Invalid_argument "Chart.line: no points")
+    (fun () ->
+      ignore (Chart.line ~title:"t" ~x_label:"x" ~y_label:"y" []));
+  let b = Chart.bars ~title:"zeros" [ ("a", 0.0) ] in
+  Alcotest.(check bool) "zero bars ok" true (String.length b > 0)
+
+let test_percentile_validation () =
+  Alcotest.check_raises "p range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile [| 1.0 |] ~p:101.0));
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty input")
+    (fun () -> ignore (Stats.mean [||]))
+
+let extra_suite =
+  [ Alcotest.test_case "kendall validation" `Quick test_kendall_validation;
+    Alcotest.test_case "units more" `Quick test_units_more;
+    Alcotest.test_case "chart degenerate" `Quick test_chart_degenerate;
+    Alcotest.test_case "percentile validation" `Quick test_percentile_validation ]
+
+let suite = base_suite @ extra_suite
