@@ -366,6 +366,121 @@ let ode_cmd =
       const run $ machine_arg $ scale_arg $ method_arg $ pde_arg $ n_arg
       $ threads_arg)
 
+let lint_cmd =
+  let inputs_arg =
+    let doc =
+      "Artifacts to lint: *.machine files, files holding a kernel \
+       expression, suite stencil names, or literal kernel expressions."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"INPUT" ~doc)
+  in
+  let rank_arg =
+    let doc =
+      "Kernel rank for expression inputs (default: the rank of --dims)."
+    in
+    Arg.(value & opt (some int) None & info [ "rank" ] ~docv:"N" ~doc)
+  in
+  let rules_arg =
+    let doc = "Print the rule table (code, severity, summary) and exit." in
+    Arg.(value & flag & info [ "rules" ] ~doc)
+  in
+  let quiet_arg =
+    let doc = "Only set the exit status; print nothing." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let run machine dims rank rules quiet threads block fold wavefront nt
+      inputs =
+    if rules then begin
+      List.iter
+        (fun (code, sev, summary) ->
+          Printf.printf "%s  %-7s  %s\n" code
+            (Lint.Diagnostic.severity_label sev)
+            summary)
+        Lint.rules;
+      exit 0
+    end;
+    let dims = or_die (dims_of_string dims) in
+    let rank = match rank with Some r -> r | None -> Array.length dims in
+    let worst = ref 0 in
+    let report ?src ~origin diagnostics =
+      worst := max !worst (Lint.exit_code diagnostics);
+      if not quiet then
+        if diagnostics = [] then Printf.printf "%s: clean\n" origin
+        else begin
+          print_string (Lint.Diagnostic.render_list ?src ~origin diagnostics);
+          Printf.printf "%s: %s\n" origin
+            (Lint.Diagnostic.summary diagnostics)
+        end
+    in
+    (* When tuning flags are given, also lint the resulting configuration
+       against each kernel input; the machine is only resolved then. *)
+    let config_given =
+      block <> None || fold <> None || wavefront <> 1 || threads <> 1 || nt
+    in
+    let lint_config spec ~origin =
+      if config_given then begin
+        let m = or_die (machine_of_string ~scale:1 machine) in
+        let config =
+          or_die
+            (build_config ~block ~fold ~wavefront ~threads
+               ~streaming_stores:nt)
+        in
+        report
+          ~origin:(origin ^ " (config)")
+          (Lint.Config.config m (Stencil.Analysis.of_spec spec) ~dims config)
+      end
+    in
+    let lint_kernel_source ?src_origin ~origin src =
+      report ~src ~origin (Lint.Kernel.source ~rank src);
+      match
+        Stencil.Parser.parse_spec
+          ~name:(Option.value src_origin ~default:"expr")
+          ~rank src
+      with
+      | Ok spec -> lint_config spec ~origin
+      | Error _ -> ()
+    in
+    let lint_one input =
+      if Filename.check_suffix input ".machine" then
+        report ~origin:input
+          ?src:
+            (match In_channel.with_open_text input In_channel.input_all with
+            | src -> Some src
+            | exception Sys_error _ -> None)
+          (Lint.Machine.file input)
+      else if Sys.file_exists input then
+        let src =
+          String.trim
+            (In_channel.with_open_text input In_channel.input_all)
+        in
+        lint_kernel_source ~src_origin:input ~origin:input src
+      else begin
+        match Stencil.Suite.find input with
+        | s ->
+            let spec = Stencil.Suite.resolve_defaults s in
+            report ~origin:input (Lint.Kernel.spec spec);
+            lint_config spec ~origin:input
+        | exception Not_found -> lint_kernel_source ~origin:"expr" input
+      end
+    in
+    if inputs = [] then
+      or_die
+        (Error
+           (`Msg
+             "nothing to lint (pass expressions, files or stencil names, or \
+              --rules)"));
+    List.iter lint_one inputs;
+    exit !worst
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically check kernels, machine files and configurations \
+             before any model run (exit 1 on errors)")
+    Term.(
+      const run $ machine_arg $ dims_arg $ rank_arg $ rules_arg $ quiet_arg
+      $ threads_arg $ block_arg $ fold_arg $ wavefront_arg $ nt_arg
+      $ inputs_arg)
+
 let methods_cmd =
   let pde_arg =
     let doc = "PDE problem: heat1d, heat2d or heat3d." in
@@ -432,4 +547,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ machines_cmd; stencils_cmd; predict_cmd; run_cmd; tune_cmd;
-            ode_cmd; methods_cmd ]))
+            lint_cmd; ode_cmd; methods_cmd ]))

@@ -2,8 +2,15 @@
 
 type section = { mutable fields : (string * (string * int)) list }
 
+type raw = {
+  machine_fields : (string * (string * int)) list;
+  cache_fields : (string * (string * int)) list list;
+}
+
 let parse_lines src =
-  (* Returns (machine_section, cache_sections in order). *)
+  (* Returns (machine_section, cache_sections in order). Field lists are
+     in reverse file order, so [List.assoc] sees the last occurrence of
+     a duplicated key first (last one wins). *)
   let machine = { fields = [] } in
   let caches = ref [] in
   let current = ref machine in
@@ -26,8 +33,7 @@ let parse_lines src =
            end
            else begin
              match String.index_opt line '=' with
-             | None ->
-                 err := Some (Printf.sprintf "line %d: expected key = value" lineno)
+             | None -> err := Some (lineno, "expected key = value")
              | Some j ->
                  let key = String.trim (String.sub line 0 j) in
                  let value =
@@ -35,14 +41,22 @@ let parse_lines src =
                      (String.sub line (j + 1) (String.length line - j - 1))
                  in
                  if key = "" || value = "" then
-                   err := Some (Printf.sprintf "line %d: empty key or value" lineno)
+                   err := Some (lineno, "empty key or value")
                  else
                    !current.fields <- (key, (value, lineno)) :: !current.fields
            end
          end);
   match !err with
-  | Some e -> Error e
+  | Some (lineno, msg) -> Error (lineno, msg)
   | None -> Ok (machine, List.rev !caches)
+
+let parse_raw src =
+  match parse_lines src with
+  | Error _ as e -> e
+  | Ok (machine, caches) ->
+      Ok
+        { machine_fields = List.rev machine.fields;
+          cache_fields = List.map (fun s -> List.rev s.fields) caches }
 
 let find section key = List.assoc_opt key section.fields
 
@@ -97,7 +111,11 @@ let parse_cache section =
   with Invalid_argument m -> Error m
 
 let parse src =
-  let* machine_section, cache_sections = parse_lines src in
+  let* machine_section, cache_sections =
+    Result.map_error
+      (fun (lineno, msg) -> Printf.sprintf "line %d: %s" lineno msg)
+      (parse_lines src)
+  in
   if cache_sections = [] then Error "no [cache] sections"
   else begin
     let* name = get_string machine_section "name" in

@@ -33,6 +33,20 @@ val parse : string -> (Machine.t, string) result
 (** Parse a machine description from a string; errors carry the line
     number. *)
 
+type raw = {
+  machine_fields : (string * (string * int)) list;
+      (** machine-level [(key, (value, line))] bindings in file order *)
+  cache_fields : (string * (string * int)) list list;
+      (** one binding list per [\[cache\]] section, innermost first *)
+}
+
+val parse_raw : string -> (raw, int * string) result
+(** Parse only the key/value structure, without interpreting or
+    validating any value ([parse] rejects inconsistent machines
+    outright; the lint layer wants to inspect the raw bindings and
+    report {e all} problems with their line numbers). Errors are
+    [(line, message)]. *)
+
 val load : string -> (Machine.t, string) result
 (** Read and parse a file. *)
 

@@ -28,6 +28,7 @@ module Engine = struct
 end
 
 module Tuner = Yasksite_tuner.Tuner
+module Lint = Yasksite_lint.Lint
 
 module Ode = struct
   module Tableau = Yasksite_ode.Tableau

@@ -56,6 +56,7 @@ module Engine : sig
 end
 
 module Tuner = Yasksite_tuner.Tuner
+module Lint = Yasksite_lint.Lint
 
 module Ode : sig
   module Tableau = Yasksite_ode.Tableau

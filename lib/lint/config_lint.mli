@@ -1,0 +1,38 @@
+(** Static checks on tuning configurations and search spaces — the
+    [YS3xx] rule family. All rules evaluate the analytic machinery
+    (layer conditions, capacities) without executing a sweep:
+
+    - [YS301] (error): an explicit spatial block restricts the sweep
+      but its layer-condition working set exceeds the safety-scaled
+      share of {e every} cache level — blocking overhead with no reuse;
+    - [YS302] (warning): a vector-fold extent does not divide the grid
+      extent (scalar peel remainder the model ignores);
+    - [YS303] (error): the search space is empty;
+    - [YS304] (warning): the search space is a singleton;
+    - [YS305] (error): block/fold/grid rank mismatch or non-positive
+      grid extents (reported alone — later rules index by dimension);
+    - [YS306] (warning): wavefront combined with streaming stores
+      (stores bypass the cache the wavefront tries to reuse);
+    - [YS307] (warning): more threads than cores;
+    - [YS308] (warning): fold product differs from the SIMD width;
+    - [YS309] (warning): the wavefront window does not fit the
+      last-level cache share, so temporal blocking is ineffective. *)
+
+val config :
+  Yasksite_arch.Machine.t ->
+  Yasksite_stencil.Analysis.t ->
+  dims:int array ->
+  Yasksite_ecm.Config.t ->
+  Diagnostic.t list
+(** Lint one configuration against a kernel on a machine. Locations are
+    {!Diagnostic.Field} names ([block], [fold], ...). Never raises. *)
+
+val space :
+  Yasksite_arch.Machine.t ->
+  Yasksite_stencil.Analysis.t ->
+  dims:int array ->
+  Yasksite_ecm.Config.t list ->
+  Diagnostic.t list
+(** Lint a whole search space: cardinality rules ([YS303]/[YS304]) plus
+    the per-configuration findings of {!config}, deduplicated by code
+    and message. Never raises. *)

@@ -1,0 +1,46 @@
+module Diagnostic = Diagnostic
+module Kernel = Kernel_lint
+module Machine = Machine_lint
+module Config = Config_lint
+
+let rules =
+  [ ("YS100", Diagnostic.Error, "kernel source does not parse");
+    ("YS101", Diagnostic.Error, "declared input field is never read");
+    ("YS102", Diagnostic.Warning, "duplicate reference (CSE-merged load)");
+    ("YS103", Diagnostic.Error, "division by literal zero");
+    ("YS104", Diagnostic.Hint, "division by a symbolic coefficient");
+    ("YS105", Diagnostic.Hint, "radius-0 kernel (point-wise map)");
+    ("YS106", Diagnostic.Warning, "asymmetric footprint along the streamed \
+                                   dimension");
+    ("YS107", Diagnostic.Error, "expression reads no field");
+    ("YS108", Diagnostic.Error, "reference outside the declared field range");
+    ("YS200", Diagnostic.Error, "machine file does not parse / bad key");
+    ("YS201", Diagnostic.Error, "cache capacities shrink outward");
+    ("YS202", Diagnostic.Error, "non-positive bandwidth");
+    ("YS203", Diagnostic.Error, "non-positive latency");
+    ("YS204", Diagnostic.Warning, "cache line / vector fold misalignment");
+    ("YS205", Diagnostic.Error, "no cache levels");
+    ("YS206", Diagnostic.Warning, "latencies do not increase outward");
+    ("YS207", Diagnostic.Error, "non-positive or inconsistent geometry");
+    ("YS208", Diagnostic.Warning, "duplicate key in a section");
+    ("YS301", Diagnostic.Error, "block working set exceeds every cache \
+                                 level");
+    ("YS302", Diagnostic.Warning, "fold extent does not divide the grid");
+    ("YS303", Diagnostic.Error, "empty search space");
+    ("YS304", Diagnostic.Warning, "singleton search space");
+    ("YS305", Diagnostic.Error, "block/fold/grid rank mismatch");
+    ("YS306", Diagnostic.Warning, "wavefront combined with streaming stores");
+    ("YS307", Diagnostic.Warning, "more threads than cores");
+    ("YS308", Diagnostic.Warning, "fold product differs from SIMD width");
+    ("YS309", Diagnostic.Warning, "wavefront window exceeds the last-level \
+                                   cache") ]
+
+let exit_code = Diagnostic.exit_code
+
+let gate ~context diagnostics =
+  match Diagnostic.errors diagnostics with
+  | [] -> ()
+  | errs ->
+      invalid_arg
+        (Printf.sprintf "%s: %s\n%s" context (Diagnostic.summary diagnostics)
+           (String.trim (Diagnostic.render_list errs)))

@@ -1,0 +1,26 @@
+(** Umbrella for the static-analysis passes: one namespace for the
+    diagnostic type, the three analyzer families, and the gating helper
+    the modeling entry points use to refuse unusable inputs.
+
+    The linters verify kernels, machine descriptions and tuning
+    configurations {e before} any model run — every rule evaluates over
+    already-built IR (expression trees, raw machine sections, config
+    records) without compiling or executing anything. *)
+
+module Diagnostic = Diagnostic
+module Kernel = Kernel_lint
+module Machine = Machine_lint
+module Config = Config_lint
+
+val rules : (string * Diagnostic.severity * string) list
+(** The full rule table (code, default severity, one-line summary) —
+    the source of the README table and [yasksite lint --rules]. *)
+
+val exit_code : Diagnostic.t list -> int
+(** [1] if any finding is an error, else [0]. *)
+
+val gate : context:string -> Diagnostic.t list -> unit
+(** [gate ~context ds] raises [Invalid_argument] with the rendered
+    error findings if [ds] contains any {!Diagnostic.Error}; warnings
+    and hints pass silently. Used by the tuner and the offsite executor
+    to refuse inputs the model cannot represent. *)

@@ -1,0 +1,333 @@
+module Machine = Yasksite_arch.Machine
+module Cache_level = Yasksite_arch.Cache_level
+module Machine_file = Yasksite_arch.Machine_file
+module D = Diagnostic
+
+(* ------------------------------------------------------------------ *)
+(* Raw-field helpers. Fields are [(key, (value, line))] in file order;
+   on duplicates the parser's accessors take the last occurrence, so we
+   do the same here (and flag the duplicate separately). *)
+
+let find fields key =
+  List.fold_left
+    (fun acc (k, v) -> if k = key then Some v else acc)
+    None fields
+
+type 'a lookup = Missing | Bad of int | Val of 'a * int
+
+let lookup_float fields key =
+  match find fields key with
+  | None -> Missing
+  | Some (v, ln) -> (
+      match float_of_string_opt v with
+      | Some f -> Val (f, ln)
+      | None -> Bad ln)
+
+let lookup_int fields key =
+  match find fields key with
+  | None -> Missing
+  | Some (v, ln) -> (
+      match int_of_string_opt v with
+      | Some n -> Val (n, ln)
+      | None -> Bad ln)
+
+(* Run a numeric check, producing YS200 for malformed/missing keys and
+   delegating the value check to [f] when the key parses. [required]
+   distinguishes "must exist" keys from optional ones. *)
+let checked ~what lookup fields key ~required f =
+  match lookup fields key with
+  | Missing ->
+      if required then
+        [ D.errorf ~code:"YS200" "%s: missing required key %S" what key ]
+      else []
+  | Bad ln ->
+      [ D.errorf ~loc:(D.Line ln) ~code:"YS200" "%s: %S is not a number" what
+          key ]
+  | Val (v, ln) -> f v ln
+
+let positive_int ~what ~code fields key ~required =
+  checked ~what lookup_int fields key ~required (fun v ln ->
+      if v <= 0 then
+        [ D.errorf ~loc:(D.Line ln) ~code "%s: %s must be positive (got %d)"
+            what key v ]
+      else [])
+
+let positive_float ~what ~code fields key ~required =
+  checked ~what lookup_float fields key ~required (fun v ln ->
+      if v <= 0.0 then
+        [ D.errorf ~loc:(D.Line ln) ~code "%s: %s must be positive (got %g)"
+            what key v ]
+      else [])
+
+(* YS208: duplicated keys within one section (the later value wins,
+   which is rarely what the author intended). *)
+let rule_duplicates ~what fields =
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun (key, (_, ln)) ->
+      match Hashtbl.find_opt seen key with
+      | Some first ->
+          Hashtbl.replace seen key ln;
+          [ D.warningf ~loc:(D.Line ln) ~code:"YS208"
+              "%s: duplicate key %S (overrides line %d; the last value wins)"
+              what key first ]
+      | None ->
+          Hashtbl.add seen key ln;
+          [])
+    fields
+
+let enum_value ~what fields key allowed =
+  match find fields key with
+  | None -> []
+  | Some (v, ln) ->
+      if List.mem v allowed then []
+      else
+        [ D.errorf ~loc:(D.Line ln) ~code:"YS200"
+            "%s: unknown %s %S (expected %s)" what key v
+            (String.concat " | " allowed) ]
+
+(* ------------------------------------------------------------------ *)
+(* Machine-level section *)
+
+let lint_machine_section fields =
+  let what = "machine" in
+  List.concat
+    [ rule_duplicates ~what fields;
+      (match find fields "name" with
+      | None -> [ D.errorf ~code:"YS200" "machine: missing required key \"name\"" ]
+      | Some _ -> []);
+      positive_float ~what ~code:"YS207" fields "freq_ghz" ~required:true;
+      positive_int ~what ~code:"YS207" fields "cores" ~required:true;
+      positive_int ~what ~code:"YS207" fields "dp_lanes" ~required:true;
+      positive_int ~what ~code:"YS207" fields "fma_ports" ~required:true;
+      positive_int ~what ~code:"YS207" fields "add_ports" ~required:false;
+      positive_int ~what ~code:"YS207" fields "load_ports" ~required:false;
+      positive_int ~what ~code:"YS207" fields "store_ports" ~required:false;
+      positive_float ~what ~code:"YS202" fields "mem_bw_gbs" ~required:true;
+      positive_float ~what ~code:"YS203" fields "mem_latency_cycles"
+        ~required:false;
+      enum_value ~what fields "vendor" [ "intel"; "amd"; "generic" ];
+      enum_value ~what fields "overlap" [ "serial"; "overlapping" ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Cache sections *)
+
+type cache_info = {
+  what : string;
+  size_bytes : int option;
+  size_line : int;
+  latency : float option;
+  latency_line : int;
+  line_bytes : int option;
+  line_line : int;
+}
+
+let lint_cache_section idx fields =
+  let what =
+    match find fields "name" with
+    | Some (n, _) -> Printf.sprintf "cache %s" n
+    | None -> Printf.sprintf "cache #%d" (idx + 1)
+  in
+  let diags =
+    List.concat
+      [ rule_duplicates ~what fields;
+        (match find fields "name" with
+        | None ->
+            [ D.errorf ~code:"YS200" "%s: missing required key \"name\"" what ]
+        | Some _ -> []);
+        positive_int ~what ~code:"YS207" fields "size_kib" ~required:true;
+        positive_int ~what ~code:"YS207" fields "assoc" ~required:true;
+        positive_int ~what ~code:"YS207" fields "shared_by" ~required:false;
+        positive_int ~what ~code:"YS207" fields "line_bytes" ~required:false;
+        positive_float ~what ~code:"YS202" fields "bytes_per_cycle"
+          ~required:true;
+        positive_float ~what ~code:"YS203" fields "latency_cycles"
+          ~required:true;
+        enum_value ~what fields "fill" [ "inclusive"; "victim" ] ]
+  in
+  let geometry =
+    match (lookup_int fields "size_kib", lookup_int fields "assoc") with
+    | Val (size_kib, ln), Val (assoc, _) when size_kib > 0 && assoc > 0 ->
+        let line =
+          match lookup_int fields "line_bytes" with
+          | Val (l, _) when l > 0 -> l
+          | _ -> 64
+        in
+        if size_kib * 1024 mod (assoc * line) <> 0 then
+          [ D.errorf ~loc:(D.Line ln) ~code:"YS207"
+              "%s: size (%d KiB) is not divisible by assoc (%d) x line (%d \
+               B); the set count would not be integral"
+              what size_kib assoc line ]
+        else []
+    | _ -> []
+  in
+  let info =
+    let opt_of = function Val (v, ln) -> (Some v, ln) | _ -> (None, 0) in
+    let size, size_line = opt_of (lookup_int fields "size_kib") in
+    let latency, latency_line = opt_of (lookup_float fields "latency_cycles") in
+    let line, line_line = opt_of (lookup_int fields "line_bytes") in
+    { what;
+      size_bytes = Option.map (fun k -> k * 1024) size;
+      size_line;
+      latency;
+      latency_line;
+      line_bytes = (match line with Some l -> Some l | None -> Some 64);
+      line_line }
+  in
+  (diags @ geometry, info)
+
+(* Cross-level rules: capacities must grow outward (YS201), latencies
+   should grow outward (YS206), and line sizes must agree (YS207). *)
+let lint_hierarchy infos =
+  let rec pairwise acc = function
+    | a :: (b :: _ as rest) ->
+        let acc =
+          acc
+          @ (match (a.size_bytes, b.size_bytes) with
+            | Some sa, Some sb when sb < sa ->
+                [ D.errorf ~loc:(D.Line b.size_line) ~code:"YS201"
+                    "%s (%d KiB) is smaller than the inner %s (%d KiB): cache \
+                     capacities must be non-decreasing outward"
+                    b.what (sb / 1024) a.what (sa / 1024) ]
+            | _ -> [])
+          @ (match (a.latency, b.latency) with
+            | Some la, Some lb when lb > 0.0 && la > 0.0 && lb <= la ->
+                [ D.warningf
+                    ~loc:
+                      (if b.latency_line > 0 then D.Line b.latency_line
+                       else D.No_loc)
+                    ~code:"YS206"
+                    "%s latency (%g cy) does not exceed the inner %s latency \
+                     (%g cy): outer levels should be slower"
+                    b.what lb a.what la ]
+            | _ -> [])
+          @
+          match (a.line_bytes, b.line_bytes) with
+          | Some la, Some lb when la <> lb ->
+              [ D.errorf
+                  ~loc:(if b.line_line > 0 then D.Line b.line_line else D.No_loc)
+                  ~code:"YS207"
+                  "%s line size (%d B) differs from %s (%d B): the hierarchy \
+                   must use one uniform line size"
+                  b.what lb a.what la ]
+          | _ -> []
+        in
+        pairwise acc rest
+    | _ -> acc
+  in
+  pairwise [] infos
+
+(* YS204: a vector fold should pack into whole cache lines (or lines
+   into whole folds); otherwise every folded vector straddles a line
+   boundary and the per-line traffic accounting is off. *)
+let lint_fold_alignment machine_fields infos =
+  match lookup_int machine_fields "dp_lanes" with
+  | Val (lanes, _) when lanes > 0 ->
+      let vec_bytes = 8 * lanes in
+      List.concat_map
+        (fun info ->
+          match info.line_bytes with
+          | Some line
+            when line > 0 && vec_bytes mod line <> 0 && line mod vec_bytes <> 0
+            ->
+              [ D.warningf
+                  ~loc:(if info.line_line > 0 then D.Line info.line_line
+                        else D.No_loc)
+                  ~code:"YS204"
+                  "%s line size (%d B) and the vector fold (%d lanes = %d B) \
+                   are misaligned: folded vectors straddle cache lines"
+                  info.what line lanes vec_bytes ]
+          | _ -> [])
+        infos
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Entry points *)
+
+let source src =
+  match Machine_file.parse_raw src with
+  | Error (lineno, msg) ->
+      [ D.errorf
+          ~loc:(if lineno > 0 then D.Line lineno else D.No_loc)
+          ~code:"YS200" "%s" msg ]
+  | Ok raw ->
+      let machine_diags = lint_machine_section raw.Machine_file.machine_fields in
+      let cache_results =
+        List.mapi lint_cache_section raw.Machine_file.cache_fields
+      in
+      let cache_diags = List.concat_map fst cache_results in
+      let infos = List.map snd cache_results in
+      let hierarchy =
+        if infos = [] then
+          [ D.errorf ~code:"YS205"
+              "no [cache] sections: an empty hierarchy leaves the cache \
+               simulator and the layer-condition analysis with zero levels \
+               (division by zero downstream)" ]
+        else
+          lint_hierarchy infos
+          @ lint_fold_alignment raw.Machine_file.machine_fields infos
+      in
+      machine_diags @ cache_diags @ hierarchy
+
+let file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> source src
+  | exception Sys_error msg -> [ D.errorf ~code:"YS200" "%s" msg ]
+
+(* Post-construction checks for machines built in OCaml: Machine.v
+   already enforces positivity and monotone capacities, so only the
+   rules it does not cover remain observable here. *)
+let machine (m : Machine.t) =
+  let caches = Array.to_list m.caches in
+  let latency_diags =
+    List.concat_map
+      (fun (c : Cache_level.t) ->
+        if c.latency_cycles <= 0.0 then
+          [ D.errorf
+              ~loc:(D.Field (c.name ^ ".latency_cycles"))
+              ~code:"YS203" "%s latency must be positive (got %g)" c.name
+              c.latency_cycles ]
+        else [])
+      caches
+    @
+    if m.mem_latency_cycles <= 0.0 then
+      [ D.errorf
+          ~loc:(D.Field "mem_latency_cycles")
+          ~code:"YS203" "memory latency must be positive (got %g)"
+          m.mem_latency_cycles ]
+    else []
+  in
+  let rec monotone_latency acc = function
+    | (a : Cache_level.t) :: (b :: _ as rest) ->
+        let acc =
+          if b.latency_cycles <= a.latency_cycles then
+            acc
+            @ [ D.warningf
+                  ~loc:(D.Field (b.name ^ ".latency_cycles"))
+                  ~code:"YS206"
+                  "%s latency (%g cy) does not exceed %s latency (%g cy)"
+                  b.name b.latency_cycles a.name a.latency_cycles ]
+          else acc
+        in
+        monotone_latency acc rest
+    | _ -> acc
+  in
+  let vec_bytes = 8 * m.simd.Machine.dp_lanes in
+  let fold_diags =
+    List.concat_map
+      (fun (c : Cache_level.t) ->
+        if
+          vec_bytes > 0
+          && vec_bytes mod c.line_bytes <> 0
+          && c.line_bytes mod vec_bytes <> 0
+        then
+          [ D.warningf
+              ~loc:(D.Field (c.name ^ ".line_bytes"))
+              ~code:"YS204"
+              "%s line size (%d B) and the vector fold (%d lanes = %d B) are \
+               misaligned"
+              c.name c.line_bytes m.simd.Machine.dp_lanes vec_bytes ]
+        else [])
+      caches
+  in
+  latency_diags @ monotone_latency [] caches @ fold_diags

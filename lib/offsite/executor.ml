@@ -3,6 +3,7 @@ module Analysis = Yasksite_stencil.Analysis
 module Expr = Yasksite_stencil.Expr
 module Pde = Yasksite_ode.Pde
 module Sweep = Yasksite_engine.Sweep
+module Lint = Yasksite_lint.Lint
 
 type compiled = {
   kernel : Variant.kernel;
@@ -31,6 +32,17 @@ let grid_of t = function
   | b -> List.assoc b t.others
 
 let create (pde : Pde.t) (variant : Variant.t) =
+  (* Refuse variants whose stage kernels the model cannot represent
+     (unused inputs, zero divides, ...): catching them here keeps every
+     downstream sweep and prediction on well-formed kernels. *)
+  List.iter
+    (fun (k : Variant.kernel) ->
+      Lint.gate
+        ~context:
+          (Printf.sprintf "Offsite.Executor.create: kernel %s"
+             k.Variant.spec.Yasksite_stencil.Spec.name)
+        (Lint.Kernel.spec k.Variant.spec))
+    variant.Variant.kernels;
   let halo = Pde.halo pde in
   let dims = pde.Pde.dims in
   let fresh_with value =

@@ -42,6 +42,10 @@ val subst_accesses : (access -> t) -> t -> t
     primitive: substituting "y + h * sum a_ij k_j" for each input access
     folds a Runge–Kutta stage's linear combination into the stencil. *)
 
+val access_to_c : access -> string
+(** Render one field access in the textual syntax, e.g. ["f0(z,y-1,x)"]
+    (used by diagnostics as well as {!to_c}). *)
+
 val to_c : t -> string
 (** Render as a C-like expression, with accesses shown as
     [f0(z-1,y,x)]-style calls — the shape of YASK-generated scalar code. *)

@@ -1,6 +1,12 @@
 (* Hand-written lexer and recursive-descent parser for the stencil
    expression language. Kept dependency-free (no menhir) since the
-   grammar is small and errors should carry friendly positions. *)
+   grammar is small and errors should carry friendly positions.
+
+   Besides the plain AST, the parser can report *located* results: the
+   source span of every field reference and of every divisor
+   subexpression. The lint layer uses those spans to attach caret
+   diagnostics to semantic findings (duplicate loads, division by zero)
+   without Expr.t having to carry positions itself. *)
 
 type token =
   | Num of float
@@ -26,11 +32,12 @@ let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '
 
 let is_ident c = is_ident_start c || is_digit c
 
+(* Tokens carry their [start, stop) byte range in the source. *)
 let lex src =
   let n = String.length src in
   let tokens = ref [] in
   let i = ref 0 in
-  let push tok pos = tokens := (tok, pos) :: !tokens in
+  let push tok pos stop = tokens := (tok, pos, stop) :: !tokens in
   while !i < n do
     let c = src.[!i] in
     let pos = !i in
@@ -50,7 +57,7 @@ let lex src =
       end;
       let text = String.sub src !i (!j - !i) in
       (match float_of_string_opt text with
-      | Some v -> push (Num v) pos
+      | Some v -> push (Num v) pos !j
       | None -> fail pos "malformed number %S" text);
       i := !j
     end
@@ -59,18 +66,18 @@ let lex src =
       while !j < n && is_ident src.[!j] do
         incr j
       done;
-      push (Ident (String.sub src !i (!j - !i))) pos;
+      push (Ident (String.sub src !i (!j - !i))) pos !j;
       i := !j
     end
     else begin
       (match c with
-      | '(' -> push Lparen pos
-      | ')' -> push Rparen pos
-      | ',' -> push Comma pos
-      | '+' -> push Plus pos
-      | '-' -> push Minus pos
-      | '*' -> push Star pos
-      | '/' -> push Slash pos
+      | '(' -> push Lparen pos (pos + 1)
+      | ')' -> push Rparen pos (pos + 1)
+      | ',' -> push Comma pos (pos + 1)
+      | '+' -> push Plus pos (pos + 1)
+      | '-' -> push Minus pos (pos + 1)
+      | '*' -> push Star pos (pos + 1)
+      | '/' -> push Slash pos (pos + 1)
       | _ -> fail pos "unexpected character %C" c);
       incr i
     end
@@ -80,18 +87,33 @@ let lex src =
 (* ------------------------------------------------------------------ *)
 (* Parser *)
 
-type state = { mutable toks : (token * int) list; len : int }
+type located = {
+  expr : Expr.t;
+  refs : (Expr.access * (int * int)) list;
+  divisors : (Expr.t * (int * int)) list;
+}
 
-let peek st = match st.toks with [] -> None | (t, p) :: _ -> Some (t, p)
+type state = {
+  mutable toks : (token * int * int) list;
+  len : int;
+  mutable refs : (Expr.access * (int * int)) list; (* reverse parse order *)
+  mutable divs : (Expr.t * (int * int)) list;
+}
+
+let peek st =
+  match st.toks with [] -> None | (t, p, _) :: _ -> Some (t, p)
 
 let advance st =
   match st.toks with [] -> () | _ :: rest -> st.toks <- rest
 
+(* Consume [tok], returning its stop offset (for span tracking). *)
 let expect st tok what =
-  match peek st with
-  | Some (t, _) when t = tok -> advance st
-  | Some (_, p) -> fail p "expected %s" what
-  | None -> fail st.len "expected %s at end of input" what
+  match st.toks with
+  | (t, _, stop) :: _ when t = tok ->
+      advance st;
+      stop
+  | (_, p, _) :: _ -> fail p "expected %s" what
+  | [] -> fail st.len "expected %s at end of input" what
 
 let axes_for rank =
   match rank with
@@ -150,17 +172,21 @@ let field_of_ident name =
     int_of_string_opt (String.sub name 1 (String.length name - 1))
   else None
 
+(* Every parse function returns the expression with its [start, stop)
+   span so enclosing nodes can extend it. *)
 let rec parse_sum st ~rank =
   let lhs = ref (parse_term st ~rank) in
   let rec loop () =
     match peek st with
     | Some (Plus, _) ->
         advance st;
-        lhs := Expr.Add (!lhs, parse_term st ~rank);
+        let e, (a, _) = !lhs and r, (_, stop) = parse_term st ~rank in
+        lhs := (Expr.Add (e, r), (a, stop));
         loop ()
     | Some (Minus, _) ->
         advance st;
-        lhs := Expr.Sub (!lhs, parse_term st ~rank);
+        let e, (a, _) = !lhs and r, (_, stop) = parse_term st ~rank in
+        lhs := (Expr.Sub (e, r), (a, stop));
         loop ()
     | _ -> ()
   in
@@ -173,11 +199,14 @@ and parse_term st ~rank =
     match peek st with
     | Some (Star, _) ->
         advance st;
-        lhs := Expr.Mul (!lhs, parse_unary st ~rank);
+        let e, (a, _) = !lhs and r, (_, stop) = parse_unary st ~rank in
+        lhs := (Expr.Mul (e, r), (a, stop));
         loop ()
     | Some (Slash, _) ->
         advance st;
-        lhs := Expr.Div (!lhs, parse_unary st ~rank);
+        let e, (a, _) = !lhs and r, rspan = parse_unary st ~rank in
+        st.divs <- (r, rspan) :: st.divs;
+        lhs := (Expr.Div (e, r), (a, snd rspan));
         loop ()
     | _ -> ()
   in
@@ -186,22 +215,23 @@ and parse_term st ~rank =
 
 and parse_unary st ~rank =
   match peek st with
-  | Some (Minus, _) ->
+  | Some (Minus, p) ->
       advance st;
-      Expr.Neg (parse_unary st ~rank)
+      let e, (_, stop) = parse_unary st ~rank in
+      (Expr.Neg e, (p, stop))
   | _ -> parse_atom st ~rank
 
 and parse_atom st ~rank =
-  match peek st with
-  | Some (Num v, _) ->
+  match st.toks with
+  | (Num v, p, stop) :: _ ->
       advance st;
-      Expr.Const v
-  | Some (Lparen, _) ->
+      (Expr.Const v, (p, stop))
+  | (Lparen, p, _) :: _ ->
       advance st;
-      let e = parse_sum st ~rank in
-      expect st Rparen "')'";
-      e
-  | Some (Ident name, p) -> (
+      let e, _ = parse_sum st ~rank in
+      let stop = expect st Rparen "')'" in
+      (e, (p, stop))
+  | (Ident name, p, pstop) :: _ -> (
       advance st;
       match (field_of_ident name, peek st) with
       | Some field, Some (Lparen, _) ->
@@ -209,27 +239,39 @@ and parse_atom st ~rank =
           let axes = axes_for rank in
           let offsets = Array.make rank 0 in
           for dim = 0 to rank - 1 do
-            if dim > 0 then expect st Comma "','";
+            if dim > 0 then ignore (expect st Comma "','" : int);
             offsets.(dim) <- parse_coord st ~axes ~dim_index:dim
           done;
-          expect st Rparen "')'";
-          Expr.Ref { Expr.field; offsets }
+          let stop = expect st Rparen "')'" in
+          let access = { Expr.field; offsets } in
+          st.refs <- (access, (p, stop)) :: st.refs;
+          (Expr.Ref access, (p, stop))
       | _, Some (Lparen, _) -> fail p "unknown function %S" name
-      | _, _ -> Expr.Coeff name)
-  | Some (_, p) -> fail p "expected expression"
-  | None -> fail st.len "expected expression"
+      | _, _ -> (Expr.Coeff name, (p, pstop)))
+  | (_, p, _) :: _ -> fail p "expected expression"
+  | [] -> fail st.len "expected expression"
+
+let parse_expr_located ~rank src =
+  if rank < 1 || rank > 3 then Error (0, "rank must be 1..3")
+  else begin
+    try
+      let st =
+        { toks = lex src; len = String.length src; refs = []; divs = [] }
+      in
+      let e, _ = parse_sum st ~rank in
+      match peek st with
+      | Some (_, p) -> Error (p, "trailing input")
+      | None ->
+          Ok { expr = e; refs = List.rev st.refs; divisors = List.rev st.divs }
+    with Parse_error (pos, msg) -> Error (pos, msg)
+  end
 
 let parse_expr ~rank src =
   if rank < 1 || rank > 3 then Error "rank must be 1..3"
-  else begin
-    try
-      let st = { toks = lex src; len = String.length src } in
-      let e = parse_sum st ~rank in
-      match peek st with
-      | Some (_, p) -> Error (Printf.sprintf "at %d: trailing input" p)
-      | None -> Ok e
-    with Parse_error (pos, msg) -> Error (Printf.sprintf "at %d: %s" pos msg)
-  end
+  else
+    match parse_expr_located ~rank src with
+    | Ok l -> Ok l.expr
+    | Error (pos, msg) -> Error (Printf.sprintf "at %d: %s" pos msg)
 
 let parse_spec ~name ~rank ?n_fields src =
   match parse_expr ~rank src with

@@ -17,7 +17,25 @@
     that is not an access is a symbolic coefficient. *)
 
 val parse_expr : rank:int -> string -> (Expr.t, string) result
-(** Parse an expression; errors carry a position and a description. *)
+(** Parse an expression; errors carry a position and a description
+    (formatted ["at <pos>: <message>"]). *)
+
+type located = {
+  expr : Expr.t;
+  refs : (Expr.access * (int * int)) list;
+      (** every field reference with its [start, stop) source span, in
+          left-to-right source order (the same order
+          {!Expr.fold_accesses} visits them) *)
+  divisors : (Expr.t * (int * int)) list;
+      (** the right-hand side of every division with its span *)
+}
+
+val parse_expr_located : rank:int -> string -> (located, int * string) result
+(** Like {!parse_expr} but additionally reports the source spans of
+    field references and divisor subexpressions, and returns errors as a
+    structured [(position, message)] pair. Every failure path carries a
+    usable position: errors at end of input report [String.length src].
+    The lint layer builds caret diagnostics from these spans. *)
 
 val parse_spec :
   name:string -> rank:int -> ?n_fields:int -> string -> (Spec.t, string) result

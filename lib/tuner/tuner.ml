@@ -5,6 +5,7 @@ module Config = Yasksite_ecm.Config
 module Model = Yasksite_ecm.Model
 module Advisor = Yasksite_ecm.Advisor
 module Measure = Yasksite_engine.Measure
+module Lint = Yasksite_lint.Lint
 
 type result = {
   chosen : Config.t;
@@ -17,6 +18,7 @@ type result = {
 
 let tune_analytic m spec ~dims ~threads =
   let t0 = Sys.time () in
+  Lint.gate ~context:"Tuner.tune_analytic" (Lint.Kernel.spec spec);
   let info = Analysis.of_spec spec in
   let ranked = Advisor.rank_all m info ~dims ~threads in
   let chosen, prediction =
@@ -34,6 +36,14 @@ let tune_analytic m spec ~dims ~threads =
 
 let tune_empirical ?space m spec ~dims ~threads =
   let t0 = Sys.time () in
+  Lint.gate ~context:"Tuner.tune_empirical" (Lint.Kernel.spec spec);
+  (* User-supplied spaces are gated; advisor-generated candidates are the
+     model's own business (it ranks bad ones down rather than refusing). *)
+  (match space with
+  | Some s ->
+      Lint.gate ~context:"Tuner.tune_empirical"
+        (Lint.Config.space m (Analysis.of_spec spec) ~dims s)
+  | None -> ());
   let space =
     match space with
     | Some s -> s

@@ -10,4 +10,5 @@ let () =
       ("tuner", Test_tuner.suite);
       ("ode", Test_ode.suite);
       ("offsite", Test_offsite.suite);
+      ("lint", Test_lint.suite);
       ("core", Test_core.suite) ]
