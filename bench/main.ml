@@ -1,6 +1,6 @@
 (* Benchmark / experiment driver.
 
-   dune exec bench/main.exe              -- run every experiment (E1..E10)
+   dune exec bench/main.exe              -- run every experiment (E1..E14)
    dune exec bench/main.exe -- --exp e5  -- run one experiment
    dune exec bench/main.exe -- --micro   -- bechamel micro-benchmarks *)
 

@@ -127,6 +127,26 @@ let or_die = function
       prerr_endline ("yasksite: " ^ m);
       exit 2
 
+let first_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+(* Command boundary: parser and model errors must not escape as raw
+   backtraces. Lint-gate refusals keep the lint exit code (1); other
+   input errors get their own code (3; 2 is argument parsing). *)
+let protect f =
+  try f () with
+  | Lint.Gate_error msg ->
+      prerr_endline ("yasksite: lint: " ^ first_line msg);
+      exit 1
+  | Failure msg ->
+      prerr_endline ("yasksite: error: " ^ first_line msg);
+      exit 3
+  | Invalid_argument msg ->
+      prerr_endline ("yasksite: error: " ^ first_line msg);
+      exit 3
+
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
 
@@ -147,6 +167,7 @@ let stencils_cmd =
     Arg.(value & opt (some string) None & info [ "show" ] ~docv:"NAME" ~doc)
   in
   let run show =
+    protect @@ fun () ->
     let tbl =
       Yasksite_util.Table.create ~title:"Stencil suite"
         ~columns:
@@ -185,6 +206,7 @@ let predict_cmd =
   in
   let run machine scale stencil expr dims threads block fold wavefront nt
       verbose =
+    protect @@ fun () ->
     let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
     let config =
       or_die (build_config ~block ~fold ~wavefront ~threads ~streaming_stores:nt)
@@ -231,6 +253,7 @@ let predict_cmd =
 
 let run_cmd =
   let run machine scale stencil expr dims threads block fold wavefront nt =
+    protect @@ fun () ->
     let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
     let config =
       or_die (build_config ~block ~fold ~wavefront ~threads ~streaming_stores:nt)
@@ -250,7 +273,47 @@ let tune_cmd =
     let doc = "How many top-ranked configurations to list." in
     Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc)
   in
-  let run machine scale stencil expr dims threads top =
+  let empirical_arg =
+    let doc =
+      "Also run the resilient empirical sweep over the advisor space \
+       (every candidate is executed, surviving the injected fault plan)."
+    in
+    Arg.(value & flag & info [ "empirical" ] ~doc)
+  in
+  let fault_seed_arg =
+    let doc = "Seed of the deterministic fault plan." in
+    Arg.(value & opt int 42 & info [ "fault-seed" ] ~docv:"N" ~doc)
+  in
+  let fault_rate_arg =
+    let doc = "Per-run transient-failure probability injected into the \
+               empirical sweep." in
+    Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"P" ~doc)
+  in
+  let noise_arg =
+    let doc = "Sigma of the multiplicative lognormal measurement noise \
+               (enables median-of-5 robust repeats)." in
+    Arg.(value & opt float 0.0 & info [ "noise" ] ~docv:"SIGMA" ~doc)
+  in
+  let retries_arg =
+    let doc = "Maximum attempts per candidate measurement." in
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let budget_arg =
+    let doc = "Wall budget for the whole empirical sweep, in seconds \
+               (backoff and timeout charges included)." in
+    Arg.(value & opt (some float) None & info [ "budget-s" ] ~docv:"S" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Checkpoint file: progress is saved after every candidate and a \
+       matching file resumes the sweep without re-running completed \
+       candidates."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+  in
+  let run machine scale stencil expr dims threads top empirical fault_seed
+      fault_rate noise retries budget resume =
+    protect @@ fun () ->
     let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
     let ranked = Advisor.rank_all k.machine k.info ~dims:k.dims ~threads in
     let tbl =
@@ -271,18 +334,56 @@ let tune_cmd =
               Yasksite_util.Table.cell_f (p.Model.lups_chip /. 1e9) ])
       ranked;
     Yasksite_util.Table.print tbl;
-    match ranked with
+    (match ranked with
     | (best, _) :: _ ->
         print_newline ();
         print_string (report k ~config:best)
-    | [] -> ()
+    | [] -> ());
+    if empirical || fault_rate > 0.0 || noise > 0.0 || resume <> None then begin
+      let faults =
+        Faults.Plan.v ~seed:fault_seed ~fail_rate:fault_rate
+          ~noise_sigma:noise ()
+      in
+      let policy =
+        Faults.Policy.v ~max_attempts:retries ?pass_budget_s:budget
+          ~repeats:(if noise > 0.0 then 5 else 1)
+          ()
+      in
+      let r =
+        Tuner.tune_empirical ~faults ~policy ?checkpoint:resume k.machine
+          k.spec ~dims:k.dims ~threads
+      in
+      Printf.printf "\nresilient empirical sweep (%s):\n"
+        (Faults.Plan.describe faults);
+      Printf.printf "  chosen      %s%s\n"
+        (Config.describe r.Tuner.chosen)
+        (if r.Tuner.degraded then "  [degraded: analytic fallback]" else "");
+      Printf.printf "  measured    %.2f GLUP/s\n"
+        (r.Tuner.measured_lups /. 1e9);
+      Printf.printf "  kernel runs %d (attempts %d), skipped %d, wall %.2f s\n"
+        r.Tuner.kernel_runs r.Tuner.attempts
+        (List.length r.Tuner.skipped)
+        r.Tuner.wall_seconds;
+      List.iteri
+        (fun i (s : Tuner.skipped) ->
+          if i < 5 then
+            Printf.printf "  skipped     %s after %d attempts: %s\n"
+              (Config.describe s.Tuner.s_config)
+              s.Tuner.s_attempts s.Tuner.s_reason)
+        r.Tuner.skipped;
+      match resume with
+      | Some path -> Printf.printf "  checkpoint  %s\n" path
+      | None -> ()
+    end
   in
   Cmd.v
     (Cmd.info "tune"
-       ~doc:"Rank the tuning space analytically and validate the winner")
+       ~doc:"Rank the tuning space analytically and validate the winner \
+             (optionally against a fault-injected empirical sweep)")
     Term.(
       const run $ machine_arg $ scale_arg $ stencil_arg $ expr_arg $ dims_arg
-      $ threads_arg $ top)
+      $ threads_arg $ top $ empirical_arg $ fault_seed_arg $ fault_rate_arg
+      $ noise_arg $ retries_arg $ budget_arg $ resume_arg)
 
 let scheme_name = function
   | `Unfused -> "unfused"
@@ -306,6 +407,7 @@ let ode_cmd =
     Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc)
   in
   let run machine scale mname pname n threads =
+    protect @@ fun () ->
     let m = or_die (machine_of_string ~scale machine) in
     let tab =
       match Ode.Tableau.find mname with
@@ -390,6 +492,7 @@ let lint_cmd =
   in
   let run machine dims rank rules quiet threads block fold wavefront nt
       inputs =
+    protect @@ fun () ->
     if rules then begin
       List.iter
         (fun (code, sev, summary) ->
@@ -491,6 +594,7 @@ let methods_cmd =
     Arg.(value & opt int 128 & info [ "n" ] ~docv:"N" ~doc)
   in
   let run machine scale pname n threads =
+    protect @@ fun () ->
     let m = or_die (machine_of_string ~scale machine) in
     let pde =
       match pname with

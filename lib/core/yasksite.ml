@@ -30,6 +30,13 @@ end
 module Tuner = Yasksite_tuner.Tuner
 module Lint = Yasksite_lint.Lint
 
+module Faults = struct
+  module Plan = Yasksite_faults.Plan
+  module Policy = Yasksite_faults.Policy
+  module Retry = Yasksite_faults.Retry
+  module Checkpoint = Yasksite_faults.Checkpoint
+end
+
 module Ode = struct
   module Tableau = Yasksite_ode.Tableau
   module Ivp = Yasksite_ode.Ivp

@@ -7,6 +7,7 @@ module Analysis = Yasksite_stencil.Analysis
 module Config = Yasksite_ecm.Config
 module Incore = Yasksite_ecm.Incore
 module Prng = Yasksite_util.Prng
+module Clock = Yasksite_util.Clock
 
 type t = {
   config : Config.t;
@@ -93,8 +94,8 @@ let execute spec ~inputs ~output ~config ~vec_unit ~trace =
     Sweep.add_stats s1 s2
   end
 
-let stencil_sweep (m : Machine.t) spec ~dims ~config =
-  let t0 = Sys.time () in
+let stencil_sweep ?(clock = Clock.system) (m : Machine.t) spec ~dims ~config =
+  let t0 = Clock.now clock in
   let rank = spec.Spec.rank in
   if Array.length dims <> rank then
     invalid_arg "Measure.stencil_sweep: dims rank mismatch";
@@ -184,8 +185,8 @@ let stencil_sweep (m : Machine.t) spec ~dims ~config =
     lups_chip;
     flops_chip = lups_chip *. float_of_int info.Analysis.flops;
     sim_points = points;
-    wall_seconds = Sys.time () -. t0 }
+    wall_seconds = Clock.now clock -. t0 }
 
-let lups_at_threads m spec ~dims ~config ~threads =
+let lups_at_threads ?clock m spec ~dims ~config ~threads =
   let c = { config with Config.threads } in
-  (stencil_sweep m spec ~dims ~config:c).lups_chip
+  (stencil_sweep ?clock m spec ~dims ~config:c).lups_chip

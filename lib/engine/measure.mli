@@ -33,6 +33,7 @@ type t = {
 }
 
 val stencil_sweep :
+  ?clock:Yasksite_util.Clock.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Spec.t ->
   dims:int array ->
@@ -46,6 +47,7 @@ val stencil_sweep :
     cost is independent of the thread count. *)
 
 val lups_at_threads :
+  ?clock:Yasksite_util.Clock.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Spec.t ->
   dims:int array ->

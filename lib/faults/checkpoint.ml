@@ -1,0 +1,62 @@
+type entry =
+  | Done of { lups : float; runs : int; attempts : int }
+  | Skipped of { reason : string; attempts : int }
+
+let magic = "yasksite-checkpoint v1"
+
+let sanitize s =
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+let render ~key entries =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s %s\n" magic key);
+  List.iter
+    (fun (idx, e) ->
+      match e with
+      | Done { lups; runs; attempts } ->
+          (* %h round-trips the float exactly. *)
+          Buffer.add_string buf
+            (Printf.sprintf "done %d %d %d %h\n" idx runs attempts lups)
+      | Skipped { reason; attempts } ->
+          Buffer.add_string buf
+            (Printf.sprintf "skip %d %d %s\n" idx attempts (sanitize reason)))
+    entries;
+  Buffer.contents buf
+
+let parse ~key src =
+  match String.split_on_char '\n' src with
+  | [] -> []
+  | header :: rest ->
+      if String.trim header <> magic ^ " " ^ key then []
+      else
+        List.filter_map
+          (fun line ->
+            let line = String.trim line in
+            if line = "" then None
+            else if String.length line > 5 && String.sub line 0 5 = "done " then
+              try
+                Scanf.sscanf (String.sub line 5 (String.length line - 5))
+                  "%d %d %d %h" (fun idx runs attempts lups ->
+                    Some (idx, Done { lups; runs; attempts }))
+              with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+            else if String.length line > 5 && String.sub line 0 5 = "skip " then
+              try
+                Scanf.sscanf (String.sub line 5 (String.length line - 5))
+                  "%d %d %[^\n]" (fun idx attempts reason ->
+                    Some (idx, Skipped { reason; attempts }))
+              with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+            else None)
+          rest
+
+let load ~path ~key =
+  if not (Sys.file_exists path) then []
+  else
+    match In_channel.with_open_text path In_channel.input_all with
+    | src -> parse ~key src
+    | exception Sys_error _ -> []
+
+let save ~path ~key entries =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_text tmp (fun oc ->
+      Out_channel.output_string oc (render ~key entries));
+  Sys.rename tmp path

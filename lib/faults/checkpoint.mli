@@ -1,0 +1,29 @@
+(** Sweep checkpoints: per-candidate progress of an empirical tuning
+    pass, serialised after every candidate so an interrupted sweep can
+    resume without re-running completed work.
+
+    The file is line-oriented text. Its header carries an opaque [key]
+    identifying the sweep (machine, kernel, grid, space, fault seed); a
+    checkpoint whose key does not match loads as empty, so a stale file
+    can never leak results into a different sweep. Measured values are
+    stored as hex floats and round-trip exactly. *)
+
+type entry =
+  | Done of { lups : float; runs : int; attempts : int }
+      (** candidate measured successfully *)
+  | Skipped of { reason : string; attempts : int }
+      (** candidate permanently exhausted its retries *)
+
+val load : path:string -> key:string -> (int * entry) list
+(** Entries recorded for this sweep, in file order; empty if the file is
+    missing, unreadable, or belongs to a different sweep. Malformed
+    lines are dropped. *)
+
+val save : path:string -> key:string -> (int * entry) list -> unit
+(** Atomically replace the checkpoint (write to a temp file, rename). *)
+
+val render : key:string -> (int * entry) list -> string
+(** The serialised form (exposed for tests). *)
+
+val parse : key:string -> string -> (int * entry) list
+(** Inverse of {!render} (lenient; exposed for tests). *)

@@ -37,10 +37,19 @@ let rules =
 
 let exit_code = Diagnostic.exit_code
 
+exception Gate_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Gate_error msg -> Some ("Lint.Gate_error: " ^ msg)
+    | _ -> None)
+
 let gate ~context diagnostics =
   match Diagnostic.errors diagnostics with
   | [] -> ()
   | errs ->
-      invalid_arg
-        (Printf.sprintf "%s: %s\n%s" context (Diagnostic.summary diagnostics)
-           (String.trim (Diagnostic.render_list errs)))
+      raise
+        (Gate_error
+           (Printf.sprintf "%s: %s\n%s" context
+              (Diagnostic.summary diagnostics)
+              (String.trim (Diagnostic.render_list errs))))

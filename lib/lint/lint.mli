@@ -19,8 +19,13 @@ val rules : (string * Diagnostic.severity * string) list
 val exit_code : Diagnostic.t list -> int
 (** [1] if any finding is an error, else [0]. *)
 
+exception Gate_error of string
+(** A gate refused its input. Distinct from [Invalid_argument] so the
+    CLI can map lint-gate failures to exit code 1 while other input
+    errors get their own code. *)
+
 val gate : context:string -> Diagnostic.t list -> unit
-(** [gate ~context ds] raises [Invalid_argument] with the rendered
-    error findings if [ds] contains any {!Diagnostic.Error}; warnings
-    and hints pass silently. Used by the tuner and the offsite executor
-    to refuse inputs the model cannot represent. *)
+(** [gate ~context ds] raises {!Gate_error} with the rendered error
+    findings if [ds] contains any {!Diagnostic.Error}; warnings and
+    hints pass silently. Used by the tuner and the offsite executor to
+    refuse inputs the model cannot represent. *)

@@ -6,6 +6,18 @@ module Model = Yasksite_ecm.Model
 module Advisor = Yasksite_ecm.Advisor
 module Measure = Yasksite_engine.Measure
 module Lint = Yasksite_lint.Lint
+module Clock = Yasksite_util.Clock
+module Prng = Yasksite_util.Prng
+module Plan = Yasksite_faults.Plan
+module Policy = Yasksite_faults.Policy
+module Retry = Yasksite_faults.Retry
+module Checkpoint = Yasksite_faults.Checkpoint
+
+type skipped = {
+  s_config : Config.t;
+  s_reason : string;
+  s_attempts : int;
+}
 
 type result = {
   chosen : Config.t;
@@ -13,11 +25,14 @@ type result = {
   measured_lups : float;
   model_evaluations : int;
   kernel_runs : int;
+  attempts : int;
+  skipped : skipped list;
+  degraded : bool;
   wall_seconds : float;
 }
 
-let tune_analytic m spec ~dims ~threads =
-  let t0 = Sys.time () in
+let tune_analytic ?(clock = Clock.system) m spec ~dims ~threads =
+  let t0 = Clock.now clock in
   Lint.gate ~context:"Tuner.tune_analytic" (Lint.Kernel.spec spec);
   let info = Analysis.of_spec spec in
   let ranked = Advisor.rank_all m info ~dims ~threads in
@@ -26,16 +41,32 @@ let tune_analytic m spec ~dims ~threads =
     | [] -> invalid_arg "Tuner.tune_analytic: empty space"
     | (c, p) :: _ -> (c, p)
   in
-  let meas = Measure.stencil_sweep m spec ~dims ~config:chosen in
+  let meas = Measure.stencil_sweep ~clock m spec ~dims ~config:chosen in
   { chosen;
     predicted_lups = Some prediction.Model.lups_chip;
     measured_lups = meas.Measure.lups_chip;
     model_evaluations = List.length ranked;
     kernel_runs = 1;
-    wall_seconds = Sys.time () -. t0 }
+    attempts = 1;
+    skipped = [];
+    degraded = false;
+    wall_seconds = Clock.now clock -. t0 }
 
-let tune_empirical ?space m spec ~dims ~threads =
-  let t0 = Sys.time () in
+(* Checkpoints bind to the full identity of a sweep: a file written for a
+   different machine, kernel, grid, space or fault seed loads as empty. *)
+let checkpoint_key m spec ~dims ~threads ~space ~(faults : Plan.t) =
+  let dims_s =
+    String.concat "x" (Array.to_list (Array.map string_of_int dims))
+  in
+  let space_s = String.concat ";" (List.map Config.describe space) in
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%s|%s|%s|t=%d|seed=%d|%s" m.Machine.name
+          spec.Spec.name dims_s threads faults.Plan.seed space_s))
+
+let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
+    ?(clock = Clock.system) ?checkpoint m spec ~dims ~threads =
+  let t0 = Clock.now clock in
   Lint.gate ~context:"Tuner.tune_empirical" (Lint.Kernel.spec spec);
   (* User-supplied spaces are gated; advisor-generated candidates are the
      model's own business (it ranks bad ones down rather than refusing). *)
@@ -52,26 +83,190 @@ let tune_empirical ?space m spec ~dims ~threads =
         Advisor.space m ~dims ~threads ~rank
   in
   if space = [] then invalid_arg "Tuner.tune_empirical: empty space";
-  let best = ref None in
-  let runs = ref 0 in
-  List.iter
-    (fun config ->
-      let meas = Measure.stencil_sweep m spec ~dims ~config in
-      incr runs;
-      let lups = meas.Measure.lups_chip in
-      match !best with
-      | Some (_, best_lups) when best_lups >= lups -> ()
-      | _ -> best := Some (config, lups))
-    space;
-  let chosen, measured_lups =
-    match !best with Some cl -> cl | None -> assert false
+  (* Virtual time: the injected clock plus every charged backoff delay
+     and simulated timeout — budgets see what a real sweep would pay
+     without the harness actually sleeping. *)
+  let charged = ref 0.0 in
+  let vnow () = Clock.now clock +. !charged in
+  let sleep d = charged := !charged +. d in
+  let deadline = t0 +. policy.Policy.pass_budget_s in
+  let inj = Plan.injector faults in
+  (* Backoff jitter draws from its own stream so delay sampling never
+     perturbs the fault outcomes of later candidates. *)
+  let jitter_rng = Prng.create ~seed:(faults.Plan.seed lxor 0x5DEECE66) in
+  let key =
+    lazy (checkpoint_key m spec ~dims ~threads ~space ~faults)
   in
-  { chosen;
-    predicted_lups = None;
-    measured_lups;
-    model_evaluations = 0;
-    kernel_runs = !runs;
-    wall_seconds = Sys.time () -. t0 }
+  let entries =
+    ref
+      (match checkpoint with
+      | None -> []
+      | Some path -> Checkpoint.load ~path ~key:(Lazy.force key))
+  in
+  let record idx e =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+        entries := !entries @ [ (idx, e) ];
+        Checkpoint.save ~path ~key:(Lazy.force key) !entries
+  in
+  let best = ref None in
+  let measured_at = Hashtbl.create 16 in
+  let runs = ref 0 in
+  let attempts_total = ref 0 in
+  let skipped = ref [] in
+  let visited = ref 0 in
+  let exhausted = ref 0 in
+  let out_of_budget = ref false in
+  let consider idx config lups =
+    Hashtbl.replace measured_at idx lups;
+    match !best with
+    | Some (_, best_lups) when best_lups >= lups -> ()
+    | _ -> best := Some (config, lups)
+  in
+  let measure_once config () =
+    match Plan.draw inj with
+    | Plan.Transient_failure -> Error "transient failure"
+    | Plan.Timeout t ->
+        sleep t;
+        Error "timeout"
+    | Plan.Run factor ->
+        let meas = Measure.stencil_sweep ~clock m spec ~dims ~config in
+        Ok (meas.Measure.lups_chip /. factor)
+  in
+  List.iteri
+    (fun idx config ->
+      match List.assoc_opt idx !entries with
+      | Some (Checkpoint.Done { lups; _ }) ->
+          (* Completed by a previous pass: reuse without re-running. *)
+          incr visited;
+          consider idx config lups
+      | Some (Checkpoint.Skipped { reason; attempts }) ->
+          incr visited;
+          incr exhausted;
+          skipped :=
+            { s_config = config; s_reason = reason; s_attempts = attempts }
+            :: !skipped
+      | None ->
+          if !out_of_budget || vnow () > deadline then begin
+            out_of_budget := true;
+            skipped :=
+              { s_config = config; s_reason = "pass budget exhausted";
+                s_attempts = 0 }
+              :: !skipped
+          end
+          else begin
+            incr visited;
+            let samples = ref [] in
+            let cand_attempts = ref 0 in
+            let gave_up = ref None in
+            (try
+               for _ = 1 to policy.Policy.repeats do
+                 match
+                   Retry.run ~policy ~rng:jitter_rng ~now:vnow ~sleep
+                     ~deadline (measure_once config)
+                 with
+                 | Retry.Success (lups, a) ->
+                     cand_attempts := !cand_attempts + a;
+                     incr runs;
+                     samples := lups :: !samples
+                 | Retry.Gave_up { reason; attempts = a } ->
+                     cand_attempts := !cand_attempts + a;
+                     gave_up := Some reason;
+                     raise Exit
+               done
+             with Exit -> ());
+            attempts_total := !attempts_total + !cand_attempts;
+            match (!samples, !gave_up) with
+            | [], reason ->
+                let reason =
+                  Option.value reason ~default:"no samples"
+                in
+                if reason = "pass budget exhausted" then begin
+                  (* The sweep ran out of wall budget mid-candidate: the
+                     candidate is truncated, not dead. Keep it out of the
+                     checkpoint (a resumed sweep retries it) and out of
+                     the failure fraction. *)
+                  out_of_budget := true;
+                  decr visited;
+                  skipped :=
+                    { s_config = config; s_reason = reason;
+                      s_attempts = !cand_attempts }
+                    :: !skipped
+                end
+                else begin
+                  incr exhausted;
+                  skipped :=
+                    { s_config = config; s_reason = reason;
+                      s_attempts = !cand_attempts }
+                    :: !skipped;
+                  record idx
+                    (Checkpoint.Skipped
+                       { reason; attempts = !cand_attempts })
+                end
+            | samples, _ ->
+                let arr = Array.of_list (List.rev samples) in
+                let lups = Policy.robust_combine policy arr in
+                consider idx config lups;
+                record idx
+                  (Checkpoint.Done
+                     { lups; runs = Array.length arr;
+                       attempts = !cand_attempts })
+          end)
+    space;
+  let fail_fraction =
+    if !visited = 0 then 1.0
+    else float_of_int !exhausted /. float_of_int !visited
+  in
+  let degraded =
+    !best = None || fail_fraction > policy.Policy.degrade_threshold
+  in
+  if not degraded then begin
+    let chosen, measured_lups =
+      match !best with Some cl -> cl | None -> assert false
+    in
+    { chosen;
+      predicted_lups = None;
+      measured_lups;
+      model_evaluations = 0;
+      kernel_runs = !runs;
+      attempts = !attempts_total;
+      skipped = List.rev !skipped;
+      degraded = false;
+      wall_seconds = vnow () -. t0 }
+  end
+  else begin
+    (* Graceful degradation: too many candidates died empirically, so
+       fall back to the analytic ranking of the same space (the paper's
+       point — the model needs no runs at all). *)
+    let info = Analysis.of_spec spec in
+    let scored =
+      List.mapi
+        (fun idx c ->
+          (idx, c, (Model.predict m info ~dims ~config:c).Model.lups_chip))
+        space
+    in
+    let best_idx, chosen, predicted =
+      List.fold_left
+        (fun (bi, bc, bp) (i, c, p) ->
+          if p > bp then (i, c, p) else (bi, bc, bp))
+        (List.hd scored) (List.tl scored)
+    in
+    let measured_lups =
+      match Hashtbl.find_opt measured_at best_idx with
+      | Some l -> l
+      | None -> predicted
+    in
+    { chosen;
+      predicted_lups = Some predicted;
+      measured_lups;
+      model_evaluations = List.length space;
+      kernel_runs = !runs;
+      attempts = !attempts_total;
+      skipped = List.rev !skipped;
+      degraded = true;
+      wall_seconds = vnow () -. t0 }
+  end
 
 type comparison = {
   analytic : result;
@@ -81,9 +276,9 @@ type comparison = {
   quality : float;
 }
 
-let compare_strategies ?space m spec ~dims ~threads =
+let compare_strategies ?space ?faults ?policy m spec ~dims ~threads =
   let analytic = tune_analytic m spec ~dims ~threads in
-  let empirical = tune_empirical ?space m spec ~dims ~threads in
+  let empirical = tune_empirical ?space ?faults ?policy m spec ~dims ~threads in
   { analytic;
     empirical;
     cost_ratio =

@@ -7,20 +7,52 @@
     configuration. The empirical tuner executes every candidate on the
     simulated machine and picks the best measured one. Their cost ratio
     and the quality gap of the analytic choice are the subject of
-    experiment E9. *)
+    experiment E9.
+
+    The empirical tuner additionally survives an injected fault plan
+    ({!Yasksite_faults.Plan}): failed candidate runs are retried with
+    decorrelated-jitter backoff under per-candidate and per-pass wall
+    budgets, noisy measurements are aggregated by median-of-k with
+    MAD-based outlier rejection, candidates that exhaust their retries
+    are skipped (and recorded), the sweep degrades to analytic ranking
+    when too many candidates die, and per-candidate progress can be
+    checkpointed so an interrupted sweep resumes without re-running
+    completed work (experiment E14). With the default (fault-free) plan
+    and policy it is behaviourally identical to the pre-resilience
+    tuner: same chosen configuration, same kernel-run count, bit-equal
+    measured performance. *)
+
+type skipped = {
+  s_config : Yasksite_ecm.Config.t;
+  s_reason : string;  (** why the candidate was abandoned *)
+  s_attempts : int;  (** attempts spent before giving up *)
+}
 
 type result = {
   chosen : Yasksite_ecm.Config.t;
   predicted_lups : float option;
-      (** the model's score for [chosen] (None for the empirical tuner) *)
+      (** the model's score for [chosen] (None for a successful
+          empirical tune; Some for analytic and degraded results) *)
   measured_lups : float;
-      (** validation measurement of [chosen] at full thread count *)
+      (** validation measurement of [chosen] at full thread count (the
+          model's prediction if [chosen] was never measured on a
+          degraded sweep) *)
   model_evaluations : int;  (** analytic work performed *)
   kernel_runs : int;  (** kernels executed (incl. the validation run) *)
-  wall_seconds : float;  (** CPU cost of the whole tuning pass *)
+  attempts : int;
+      (** measurement attempts including retried failures and timeouts *)
+  skipped : skipped list;
+      (** candidates abandoned after exhausting retries or budgets *)
+  degraded : bool;
+      (** the empirical sweep fell back to analytic ranking because the
+          failure rate exceeded the policy's threshold *)
+  wall_seconds : float;
+      (** CPU cost of the whole tuning pass, including charged backoff
+          and timeout time *)
 }
 
 val tune_analytic :
+  ?clock:Yasksite_util.Clock.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Spec.t ->
   dims:int array ->
@@ -31,13 +63,28 @@ val tune_analytic :
 
 val tune_empirical :
   ?space:Yasksite_ecm.Config.t list ->
+  ?faults:Yasksite_faults.Plan.t ->
+  ?policy:Yasksite_faults.Policy.t ->
+  ?clock:Yasksite_util.Clock.t ->
+  ?checkpoint:string ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Spec.t ->
   dims:int array ->
   threads:int ->
   result
 (** Execute every configuration of [space] (default: the same advisor
-    space the analytic tuner ranks) and keep the best measured one. *)
+    space the analytic tuner ranks) and keep the best measured one.
+
+    [faults] (default {!Yasksite_faults.Plan.none}) injects seeded
+    transient failures, timeouts, lognormal measurement noise and
+    contention outliers into each run; [policy] (default
+    {!Yasksite_faults.Policy.default}) bounds retries, backoff and
+    budgets and configures robust aggregation. [checkpoint] names a file
+    that is rewritten after every candidate and, when present and
+    matching this sweep's identity, resumed from — completed candidates
+    are not re-run. All behaviour is a deterministic function of the
+    inputs and [faults.seed]; the [clock] only feeds wall-time
+    accounting and budget enforcement. *)
 
 type comparison = {
   analytic : result;
@@ -53,9 +100,13 @@ type comparison = {
 
 val compare_strategies :
   ?space:Yasksite_ecm.Config.t list ->
+  ?faults:Yasksite_faults.Plan.t ->
+  ?policy:Yasksite_faults.Policy.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Spec.t ->
   dims:int array ->
   threads:int ->
   comparison
-(** Run both tuners on the same kernel and summarise the trade-off. *)
+(** Run both tuners on the same kernel and summarise the trade-off; the
+    fault plan and policy apply to the empirical side only (the analytic
+    tuner's single validation run is taken as trusted). *)

@@ -1,0 +1,25 @@
+(** Injectable monotonic clock.
+
+    Every component that accounts wall time (the measurement harness,
+    the tuner's budget and backoff logic) reads time through a [Clock.t]
+    instead of calling [Sys.time] directly, so deadline and budget
+    behaviour is testable with a deterministic clock. *)
+
+type t
+
+val system : t
+(** CPU-time clock backed by [Sys.time] — the default everywhere. *)
+
+val of_fun : (unit -> float) -> t
+(** Arbitrary time source (e.g. a counter that advances on every read). *)
+
+val manual : ?start:float -> unit -> t
+(** A clock that only moves when {!advance} is called; starts at
+    [start] (default 0). *)
+
+val now : t -> float
+(** Current reading, in seconds. *)
+
+val advance : t -> float -> unit
+(** Advance a {!manual} clock by a non-negative delta. Raises
+    [Invalid_argument] on other clocks or negative deltas. *)

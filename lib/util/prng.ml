@@ -29,6 +29,12 @@ let float_range t ~lo ~hi = lo +. ((hi -. lo) *. float t)
 
 let bool t = Int64.logand (int64 t) 1L = 1L
 
+let gaussian t =
+  (* Box–Muller; [1 - float] keeps the log argument in (0, 1]. *)
+  let u1 = 1.0 -. float t in
+  let u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
 let choose t a =
   if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
   a.(int t ~bound:(Array.length a))

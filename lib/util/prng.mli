@@ -30,6 +30,9 @@ val float_range : t -> lo:float -> hi:float -> float
 val bool : t -> bool
 (** Fair coin. *)
 
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller); consumes two uniform draws. *)
+
 val choose : t -> 'a array -> 'a
 (** Uniform element of a non-empty array. *)
 

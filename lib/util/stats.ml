@@ -47,6 +47,20 @@ let percentile a ~p =
 
 let median a = percentile a ~p:50.0
 
+let mad a =
+  check_nonempty "Stats.mad" a;
+  let m = median a in
+  median (Array.map (fun x -> abs_float (x -. m)) a)
+
+let trimmed_mean a ~frac =
+  check_nonempty "Stats.trimmed_mean" a;
+  if frac < 0.0 || frac >= 0.5 then
+    invalid_arg "Stats.trimmed_mean: frac must be in [0, 0.5)";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  let k = int_of_float (floor (frac *. float_of_int n)) in
+  mean (Array.sub b k (n - (2 * k)))
+
 let minimum a =
   check_nonempty "Stats.minimum" a;
   Array.fold_left min a.(0) a

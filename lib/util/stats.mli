@@ -12,6 +12,15 @@ val stddev : float array -> float
 
 val median : float array -> float
 
+val mad : float array -> float
+(** Median absolute deviation (raw, unscaled): the median of
+    [|x - median|]. Multiply by 1.4826 for a normal-consistent scale
+    estimate. *)
+
+val trimmed_mean : float array -> frac:float -> float
+(** Mean after discarding [floor (frac * n)] entries from each end of
+    the sorted sample; [frac] in [\[0, 0.5)]. *)
+
 val percentile : float array -> p:float -> float
 (** Linear-interpolation percentile, [p] in [\[0, 100\]]. *)
 

@@ -356,12 +356,12 @@ let test_gate () =
        Lint.gate ~context:"t" [];
        Lint.gate ~context:"t" [ D.warningf ~code:"YS102" "w" ];
        true
-     with Invalid_argument _ -> false);
+     with Lint.Gate_error _ -> false);
   Alcotest.(check bool) "errors raise" true
     (try
        Lint.gate ~context:"t" [ D.errorf ~code:"YS103" "division by zero" ];
        false
-     with Invalid_argument msg ->
+     with Lint.Gate_error msg ->
        Astring_contains.contains msg "YS103"
        && Astring_contains.contains msg "t:")
 
@@ -377,7 +377,7 @@ let test_tuner_gate () =
        ignore
          (Yasksite_tuner.Tuner.tune_analytic m bad ~dims:[| 32 |] ~threads:1);
        false
-     with Invalid_argument msg -> Astring_contains.contains msg "YS101")
+     with Lint.Gate_error msg -> Astring_contains.contains msg "YS101")
 
 let test_rules_table () =
   (* Every code the analyzers can emit is documented, exactly once. *)

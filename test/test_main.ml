@@ -7,6 +7,7 @@ let () =
       ("cachesim", Test_cachesim.suite);
       ("ecm", Test_ecm.suite);
       ("engine", Test_engine.suite);
+      ("faults", Test_faults.suite);
       ("tuner", Test_tuner.suite);
       ("ode", Test_ode.suite);
       ("offsite", Test_offsite.suite);

@@ -211,4 +211,85 @@ let extra_suite =
     Alcotest.test_case "chart degenerate" `Quick test_chart_degenerate;
     Alcotest.test_case "percentile validation" `Quick test_percentile_validation ]
 
-let suite = base_suite @ extra_suite
+let test_mad () =
+  check_float "constant" 0.0 (Stats.mad [| 3.0; 3.0; 3.0 |]);
+  (* median 3, abs devs [2;1;0;1;2] -> median 1 *)
+  check_float "symmetric" 1.0 (Stats.mad [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  (* the outlier moves the mean but barely moves the MAD *)
+  check_float "outlier-resistant" 1.0
+    (Stats.mad [| 1.0; 2.0; 3.0; 4.0; 1000.0 |]);
+  check_float "singleton" 0.0 (Stats.mad [| 42.0 |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mad: empty input")
+    (fun () -> ignore (Stats.mad [||]))
+
+let test_trimmed_mean () =
+  check_float "no trim" 2.0 (Stats.trimmed_mean [| 1.0; 2.0; 3.0 |] ~frac:0.0);
+  (* 20% of 5 trims one sample per end: mean of [2;3;4] *)
+  check_float "trims both tails" 3.0
+    (Stats.trimmed_mean [| 1.0; 2.0; 3.0; 4.0; 1000.0 |] ~frac:0.2);
+  (* input order must not matter *)
+  check_float "sorted internally" 3.0
+    (Stats.trimmed_mean [| 1000.0; 3.0; 1.0; 4.0; 2.0 |] ~frac:0.2);
+  (* trimming everything but the median-ish core *)
+  check_float "heavy trim keeps middle" 3.0
+    (Stats.trimmed_mean [| 0.0; 3.0; 100.0 |] ~frac:0.4);
+  Alcotest.check_raises "frac range"
+    (Invalid_argument "Stats.trimmed_mean: frac must be in [0, 0.5)")
+    (fun () -> ignore (Stats.trimmed_mean [| 1.0 |] ~frac:0.5))
+
+let test_clock_manual () =
+  let c = Clock.manual () in
+  check_float "starts at zero" 0.0 (Clock.now c);
+  Clock.advance c 1.5;
+  Clock.advance c 0.25;
+  check_float "advances" 1.75 (Clock.now c);
+  let c2 = Clock.manual ~start:10.0 () in
+  check_float "custom start" 10.0 (Clock.now c2);
+  Alcotest.check_raises "negative delta"
+    (Invalid_argument "Clock.advance: negative delta") (fun () ->
+      Clock.advance c (-1.0));
+  Alcotest.check_raises "system not advanceable"
+    (Invalid_argument "Clock.advance: not a manual clock") (fun () ->
+      Clock.advance Clock.system 1.0)
+
+let test_clock_of_fun () =
+  let n = ref 0.0 in
+  let c =
+    Clock.of_fun (fun () ->
+        n := !n +. 1.0;
+        !n)
+  in
+  check_float "first read" 1.0 (Clock.now c);
+  check_float "second read" 2.0 (Clock.now c);
+  Alcotest.(check bool) "system clock readable" true
+    (Clock.now Clock.system >= 0.0)
+
+let test_gaussian () =
+  let a = Prng.create ~seed:11 and b = Prng.create ~seed:11 in
+  for _ = 1 to 50 do
+    check_float "deterministic" (Prng.gaussian a) (Prng.gaussian b)
+  done;
+  let rng = Prng.create ~seed:12 in
+  let n = 2000 in
+  let samples = Array.init n (fun _ -> Prng.gaussian rng) in
+  let m = Stats.mean samples and sd = Stats.stddev samples in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean near 0 (%.3f)" m)
+    true
+    (abs_float m < 0.1);
+  Alcotest.(check bool)
+    (Printf.sprintf "stddev near 1 (%.3f)" sd)
+    true
+    (abs_float (sd -. 1.0) < 0.1);
+  Array.iter
+    (fun x -> Alcotest.(check bool) "finite" true (Float.is_finite x))
+    samples
+
+let robust_suite =
+  [ Alcotest.test_case "stats mad" `Quick test_mad;
+    Alcotest.test_case "stats trimmed mean" `Quick test_trimmed_mean;
+    Alcotest.test_case "clock manual" `Quick test_clock_manual;
+    Alcotest.test_case "clock of_fun" `Quick test_clock_of_fun;
+    Alcotest.test_case "prng gaussian" `Quick test_gaussian ]
+
+let suite = base_suite @ extra_suite @ robust_suite
