@@ -690,6 +690,155 @@ let e14 () =
      as the rate\nclimbs, degrading to model ranking past the policy \
      threshold.\n"
 
+(* ------------------------------------------------------------------ *)
+(* E15 — domain-parallel execution and ECM memoization: tuning-sweep
+   wall clock (sequential cold / parallel cold / parallel warm),
+   pool-invariance of the empirical sweep, and the Offsite memo-cache
+   hit rate. Writes the machine-readable record bench/BENCH_parallel.json. *)
+
+let e15 () =
+  header "e15"
+    "Domain-parallel tuning and ECM memoization (BENCH_parallel.json)";
+  let domains = 4 in
+  let spec = Stencil.Suite.resolve_defaults Stencil.Suite.heat_3d_7pt in
+  let info = Stencil.Analysis.of_spec spec in
+  let dims = [| 64; 64; 64 |] in
+  let threads = 8 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Pool.with_pool ~domains @@ fun pool ->
+  (* Analytic ranking three ways: sequential on a cold cache, the pool
+     on a cold cache, and the pool on the now-warm cache — the steady
+     state of repeated rankings (resumed tunes, Offsite re-scoring). *)
+  let seq_cache = Model_cache.create () in
+  let ranked_seq, seq_cold_s =
+    time (fun () -> Advisor.rank_all ~cache:seq_cache clx info ~dims ~threads)
+  in
+  let par_cache = Model_cache.create () in
+  let ranked_par, par_cold_s =
+    time (fun () ->
+        Advisor.rank_all ~cache:par_cache ~pool clx info ~dims ~threads)
+  in
+  (* Warm timing is short; take the best of three to shed scheduler
+     noise. *)
+  let ranked_warm, par_warm_s =
+    let best = ref infinity and last = ref ranked_par in
+    for _ = 1 to 3 do
+      let r, s =
+        time (fun () ->
+            Advisor.rank_all ~cache:par_cache ~pool clx info ~dims ~threads)
+      in
+      last := r;
+      if s < !best then best := s
+    done;
+    (!last, !best)
+  in
+  let same_ranking =
+    let configs l = List.map (fun (c, _) -> Config.describe c) l in
+    configs ranked_seq = configs ranked_par
+    && configs ranked_seq = configs ranked_warm
+  in
+  let cs = Model_cache.stats par_cache in
+  let speedup_cold = seq_cold_s /. par_cold_s in
+  let speedup_warm = seq_cold_s /. par_warm_s in
+  Printf.printf
+    "analytic ranking (%d candidates, %d domains):\n\
+    \  sequential, cold cache  %.4f s\n\
+    \  parallel,   cold cache  %.4f s  (%.2fx)\n\
+    \  parallel,   warm cache  %.4f s  (%.2fx, %d hits / %d misses)\n\
+    \  rankings %s\n"
+    (List.length ranked_seq) domains seq_cold_s par_cold_s speedup_cold
+    par_warm_s speedup_warm cs.Model_cache.hits cs.Model_cache.misses
+    (if same_ranking then "identical" else "DIFFER");
+  (* The empirical sweep must select the same result on the pool: every
+     candidate draws faults and jitter from index-derived streams. *)
+  let faults = Faults.Plan.v ~seed:42 ~fail_rate:0.1 ~noise_sigma:0.05 () in
+  let policy = Faults.Policy.v ~max_attempts:4 ~repeats:2 () in
+  let espec = Stencil.Suite.resolve_defaults Stencil.Suite.heat_2d_5pt in
+  let edims = [| 128; 128 |] in
+  let emp_seq, emp_seq_s =
+    time (fun () ->
+        Tuner.tune_empirical ~faults ~policy clx espec ~dims:edims ~threads:4)
+  in
+  let emp_par, emp_par_s =
+    time (fun () ->
+        Tuner.tune_empirical ~faults ~policy ~pool clx espec ~dims:edims
+          ~threads:4)
+  in
+  let emp_identical =
+    Config.describe emp_seq.Tuner.chosen
+    = Config.describe emp_par.Tuner.chosen
+    && emp_seq.Tuner.measured_lups = emp_par.Tuner.measured_lups
+    && emp_seq.Tuner.attempts = emp_par.Tuner.attempts
+    && List.length emp_seq.Tuner.skipped = List.length emp_par.Tuner.skipped
+  in
+  Printf.printf
+    "empirical sweep under faults (heat-2d-5pt, fail rate 0.10): sequential \
+     %.2f s, %d domains %.2f s; outcome %s (chosen %s, %.2f GLUP/s)\n"
+    emp_seq_s domains emp_par_s
+    (if emp_identical then "bit-identical" else "DIFFERS")
+    (Config.describe emp_par.Tuner.chosen)
+    (glups emp_par.Tuner.measured_lups);
+  (* Offsite variant ranking re-evaluates shared kernels: the memo
+     cache absorbs the repeats. *)
+  let ode_cache = Model_cache.create () in
+  let pde = Ode.Pde.heat ~rank:2 ~n:96 ~alpha:1.0 in
+  let _ =
+    (Offsite.evaluate ~cache:ode_cache ~pool clx pde Ode.Tableau.rk4 ~h:1e-5
+       ~threads:4
+      : Offsite.candidate list)
+  in
+  let os = Model_cache.stats ode_cache in
+  Printf.printf
+    "offsite rk4 variant ranking: %d model-cache hits / %d misses (%.0f%% \
+     hit rate)\n"
+    os.Model_cache.hits os.Model_cache.misses
+    (100.0 *. Model_cache.hit_rate ode_cache);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"domains\": %d,\n\
+      \  \"analytic_ranking\": {\n\
+      \    \"candidates\": %d,\n\
+      \    \"seq_cold_s\": %.6f,\n\
+      \    \"par_cold_s\": %.6f,\n\
+      \    \"par_warm_s\": %.6f,\n\
+      \    \"speedup_par_cold\": %.2f,\n\
+      \    \"speedup_par_warm\": %.2f,\n\
+      \    \"rankings_identical\": %b,\n\
+      \    \"cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f }\n\
+      \  },\n\
+      \  \"empirical_tuning\": {\n\
+      \    \"seq_s\": %.6f,\n\
+      \    \"par_s\": %.6f,\n\
+      \    \"bit_identical\": %b,\n\
+      \    \"chosen\": \"%s\",\n\
+      \    \"measured_glups\": %.4f\n\
+      \  },\n\
+      \  \"offsite_ranking\": {\n\
+      \    \"cache_hits\": %d,\n\
+      \    \"cache_misses\": %d,\n\
+      \    \"hit_rate\": %.4f\n\
+      \  }\n\
+       }\n"
+      domains (List.length ranked_seq) seq_cold_s par_cold_s par_warm_s
+      speedup_cold speedup_warm same_ranking cs.Model_cache.hits
+      cs.Model_cache.misses
+      (Model_cache.hit_rate par_cache)
+      emp_seq_s emp_par_s emp_identical
+      (Config.describe emp_par.Tuner.chosen)
+      (glups emp_par.Tuner.measured_lups)
+      os.Model_cache.hits os.Model_cache.misses
+      (Model_cache.hit_rate ode_cache)
+  in
+  Out_channel.with_open_text "bench/BENCH_parallel.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "wrote bench/BENCH_parallel.json\n"
+
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-            ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14) ]
+            ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
+            ("e15", e15) ]

@@ -4,6 +4,7 @@
 open Yasksite
 open Bechamel
 open Toolkit
+module Ustats = Yasksite_util.Stats
 
 let clx = Exp.clx
 
@@ -18,72 +19,98 @@ let small_kernel spec dims =
   let output = Grid.create ~halo ~dims () in
   (spec, input, output)
 
-let sweep_test name spec dims config =
+let sweep_case name ?pool spec dims config =
   let spec, input, output = small_kernel spec dims in
-  Test.make ~name
-    (Staged.stage (fun () ->
-         ignore
-           (Engine.Sweep.run ~config spec ~inputs:[| input |] ~output
-             : Engine.Sweep.stats)))
+  ( name,
+    fun () ->
+      ignore
+        (Engine.Sweep.run ?pool ~config spec ~inputs:[| input |] ~output
+          : Engine.Sweep.stats) )
 
-let tests =
+(* Each case is a named thunk: the same closure feeds bechamel's OLS
+   estimator and the plain Welford summary below. *)
+let cases =
   let heat3d = Stencil.Suite.heat_3d_7pt in
   let dims3 = [| 24; 24; 24 |] in
   [ (* e1: machine model construction *)
-    Test.make ~name:"e1-machine-describe"
-      (Staged.stage (fun () ->
-           ignore (Machine.describe Machine.cascade_lake : Yasksite_util.Table.t)));
+    ( "e1-machine-describe",
+      fun () ->
+        ignore (Machine.describe Machine.cascade_lake : Yasksite_util.Table.t)
+    );
     (* e2: stencil analysis *)
-    Test.make ~name:"e2-stencil-analysis"
-      (Staged.stage (fun () ->
-           ignore
-             (Stencil.Analysis.of_spec Stencil.Suite.box_3d_27pt
-               : Stencil.Analysis.t)));
+    ( "e2-stencil-analysis",
+      fun () ->
+        ignore
+          (Stencil.Analysis.of_spec Stencil.Suite.box_3d_27pt
+            : Stencil.Analysis.t) );
     (* e3/e4: single-core model evaluation and a sweep *)
-    Test.make ~name:"e3-ecm-predict"
-      (let info = Stencil.Analysis.of_spec heat3d in
-       Staged.stage (fun () ->
-           ignore
-             (Model.predict clx info ~dims:[| 64; 64; 64 |]
-                ~config:Config.default
-               : Model.prediction)));
-    sweep_test "e4-naive-sweep" heat3d dims3 (Config.v ());
+    (let info = Stencil.Analysis.of_spec heat3d in
+     ( "e3-ecm-predict",
+       fun () ->
+         ignore
+           (Model.predict clx info ~dims:[| 64; 64; 64 |]
+              ~config:Config.default
+             : Model.prediction) ));
+    sweep_case "e4-naive-sweep" heat3d dims3 (Config.v ());
     (* e5: multicore scaling model *)
-    Test.make ~name:"e5-chip-scaling"
-      (let info = Stencil.Analysis.of_spec heat3d in
-       Staged.stage (fun () ->
-           ignore
-             (Model.chip_scaling clx info ~dims:[| 64; 64; 64 |]
-                ~config:Config.default ~max_threads:20
-               : (int * float) array)));
+    (let info = Stencil.Analysis.of_spec heat3d in
+     ( "e5-chip-scaling",
+       fun () ->
+         ignore
+           (Model.chip_scaling clx info ~dims:[| 64; 64; 64 |]
+              ~config:Config.default ~max_threads:20
+             : (int * float) array) ));
     (* e6: blocked sweep *)
-    sweep_test "e6-blocked-sweep" heat3d dims3 (Config.v ~block:[| 0; 8; 24 |] ());
+    sweep_case "e6-blocked-sweep" heat3d dims3 (Config.v ~block:[| 0; 8; 24 |] ());
     (* e7: folded layout sweep *)
-    sweep_test "e7-folded-sweep" heat3d dims3 (Config.v ~fold:[| 1; 2; 4 |] ());
+    sweep_case "e7-folded-sweep" heat3d dims3 (Config.v ~fold:[| 1; 2; 4 |] ());
     (* e8: wavefront execution *)
-    Test.make ~name:"e8-wavefront"
-      (let spec = Stencil.Suite.resolve_defaults heat3d in
-       let halo = [| 1; 1; 1 |] in
-       let a = Grid.create ~halo ~dims:dims3 () in
-       let b = Grid.create ~halo ~dims:dims3 () in
-       Staged.stage (fun () ->
-           ignore
-             (Engine.Wavefront.steps ~config:(Config.v ~wavefront:4 ()) spec ~a
-                ~b ~steps:4
-               : Grid.t * Engine.Sweep.stats)));
+    (let spec = Stencil.Suite.resolve_defaults heat3d in
+     let halo = [| 1; 1; 1 |] in
+     let a = Grid.create ~halo ~dims:dims3 () in
+     let b = Grid.create ~halo ~dims:dims3 () in
+     ( "e8-wavefront",
+       fun () ->
+         ignore
+           (Engine.Wavefront.steps ~config:(Config.v ~wavefront:4 ()) spec ~a
+              ~b ~steps:4
+             : Grid.t * Engine.Sweep.stats) ));
     (* e9: analytic tuning pass *)
-    Test.make ~name:"e9-advisor-rank-all"
-      (let info = Stencil.Analysis.of_spec heat3d in
-       Staged.stage (fun () ->
-           ignore
-             (Advisor.rank_all clx info ~dims:[| 64; 64; 64 |] ~threads:8
-               : (Config.t * Model.prediction) list)));
+    (let info = Stencil.Analysis.of_spec heat3d in
+     ( "e9-advisor-rank-all",
+       fun () ->
+         ignore
+           (Advisor.rank_all clx info ~dims:[| 64; 64; 64 |] ~threads:8
+             : (Config.t * Model.prediction) list) ));
     (* e10: one ODE step of the fused RK4 variant *)
-    Test.make ~name:"e10-rk4-fused-step"
-      (let pde = Ode.Pde.heat ~rank:2 ~n:48 ~alpha:1.0 in
-       let variant = Offsite.Variant.fused Ode.Tableau.rk4 pde ~h:1e-5 in
-       let ex = Offsite.Executor.create pde variant in
-       Staged.stage (fun () -> Offsite.Executor.step ex)) ]
+    (let pde = Ode.Pde.heat ~rank:2 ~n:48 ~alpha:1.0 in
+     let variant = Offsite.Variant.fused Ode.Tableau.rk4 pde ~h:1e-5 in
+     let ex = Offsite.Executor.create pde variant in
+     ("e10-rk4-fused-step", fun () -> Offsite.Executor.step ex));
+    (* e15: the blocked sweep again, split over the shared domain pool *)
+    sweep_case "e15-parallel-sweep" ~pool:(Pool.shared ()) heat3d dims3
+      (Config.v ~block:[| 0; 8; 24 |] ()) ]
+
+let tests =
+  List.map (fun (name, fn) -> Test.make ~name (Staged.stage fn)) cases
+
+(* One-pass Welford summary over raw wall-clock runs: cheaper than a
+   two-pass mean-then-variance scan and it never stores the samples. *)
+let welford_summary () =
+  let runs = 50 in
+  Printf.printf "\nwall-clock summary (Welford over %d runs):\n" runs;
+  List.iter
+    (fun (name, fn) ->
+      for _ = 1 to 3 do fn () done;
+      let w = Ustats.welford_create () in
+      for _ = 1 to runs do
+        let t0 = Unix.gettimeofday () in
+        fn ();
+        Ustats.welford_add w ((Unix.gettimeofday () -. t0) *. 1e9)
+      done;
+      Printf.printf "%-24s %12.1f ns/run  (stddev %.1f)\n" name
+        (Ustats.welford_mean w) (Ustats.welford_stddev w))
+    cases
 
 let run () =
   let benchmark test =
@@ -112,4 +139,5 @@ let run () =
                 est
           | _ -> ())
         result)
-    tests results
+    tests results;
+  welford_summary ()

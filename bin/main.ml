@@ -88,6 +88,21 @@ let nt_arg =
   let doc = "Use non-temporal (streaming) stores for the output." in
   Arg.(value & flag & info [ "nt"; "streaming-stores" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for parallel ranking, tuning and sweeping (default: \
+     the YASKSITE_DOMAINS environment variable, else the runtime's \
+     recommended domain count). Results are independent of this setting."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+(* Explicit --domains gets a private pool (shut down on the way out);
+   otherwise the environment-sized shared pool is used. *)
+let with_domains domains f =
+  match domains with
+  | None -> f (Pool.shared ())
+  | Some d -> Pool.with_pool ~domains:d f
+
 let ( let* ) = Result.bind
 
 let build_config ~block ~fold ~wavefront ~threads ~streaming_stores =
@@ -251,14 +266,67 @@ let predict_cmd =
       const run $ machine_arg $ scale_arg $ stencil_arg $ expr_arg $ dims_arg
       $ threads_arg $ block_arg $ fold_arg $ wavefront_arg $ nt_arg $ verbose)
 
+(* Untraced wall-clock sweep, sequential and on the pool: exercises the
+   domain partitioning end to end and checks the outputs are
+   bit-identical. *)
+let parallel_sweep_demo k ~config pool =
+  let halo = Stencil.Analysis.halo k.info in
+  let layout =
+    match config.Config.fold with
+    | None -> Grid.Linear
+    | Some f -> Grid.Folded (Array.copy f)
+  in
+  let make () =
+    let rng = Yasksite_util.Prng.create ~seed:7 in
+    let space = Grid.fresh_space () in
+    let fresh () =
+      let g = Grid.create ~space ~halo ~layout ~dims:k.dims () in
+      Grid.fill g ~f:(fun _ ->
+          Yasksite_util.Prng.float_range rng ~lo:(-1.0) ~hi:1.0);
+      Grid.halo_dirichlet g 0.0;
+      g
+    in
+    let inputs =
+      Array.init k.spec.Stencil.Spec.n_fields (fun _ -> fresh ())
+    in
+    let output = fresh () in
+    (inputs, output)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let inputs_s, output_s = make () in
+  let _, seq_s =
+    time (fun () ->
+        Engine.Sweep.run ~config k.spec ~inputs:inputs_s ~output:output_s)
+  in
+  let inputs_p, output_p = make () in
+  let _, par_s =
+    time (fun () ->
+        Engine.Sweep.run ~pool ~config k.spec ~inputs:inputs_p
+          ~output:output_p)
+  in
+  let diff = Grid.max_abs_diff output_s output_p in
+  Printf.printf
+    "parallel sweep (%d domains): sequential %.4f s, parallel %.4f s \
+     (%.2fx), max |diff| %g\n"
+    (Pool.size pool) seq_s par_s
+    (if par_s > 0.0 then seq_s /. par_s else 0.0)
+    diff
+
 let run_cmd =
-  let run machine scale stencil expr dims threads block fold wavefront nt =
+  let run machine scale stencil expr dims threads block fold wavefront nt
+      domains =
     protect @@ fun () ->
     let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
     let config =
       or_die (build_config ~block ~fold ~wavefront ~threads ~streaming_stores:nt)
     in
-    print_string (report k ~config)
+    print_string (report k ~config);
+    if domains <> None then
+      with_domains domains (fun pool -> parallel_sweep_demo k ~config pool)
   in
   Cmd.v
     (Cmd.info "run"
@@ -266,7 +334,8 @@ let run_cmd =
              compare with the prediction")
     Term.(
       const run $ machine_arg $ scale_arg $ stencil_arg $ expr_arg $ dims_arg
-      $ threads_arg $ block_arg $ fold_arg $ wavefront_arg $ nt_arg)
+      $ threads_arg $ block_arg $ fold_arg $ wavefront_arg $ nt_arg
+      $ domains_arg)
 
 let tune_cmd =
   let top =
@@ -312,10 +381,14 @@ let tune_cmd =
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
   in
   let run machine scale stencil expr dims threads top empirical fault_seed
-      fault_rate noise retries budget resume =
+      fault_rate noise retries budget resume domains =
     protect @@ fun () ->
     let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
-    let ranked = Advisor.rank_all k.machine k.info ~dims:k.dims ~threads in
+    with_domains domains @@ fun pool ->
+    let cache = Model_cache.shared in
+    let ranked =
+      Advisor.rank_all ~cache ~pool k.machine k.info ~dims:k.dims ~threads
+    in
     let tbl =
       Yasksite_util.Table.create
         ~title:(Printf.sprintf "Analytic ranking (top %d of %d)" top
@@ -350,11 +423,11 @@ let tune_cmd =
           ()
       in
       let r =
-        Tuner.tune_empirical ~faults ~policy ?checkpoint:resume k.machine
-          k.spec ~dims:k.dims ~threads
+        Tuner.tune_empirical ~faults ~policy ?checkpoint:resume ~pool ~cache
+          k.machine k.spec ~dims:k.dims ~threads
       in
-      Printf.printf "\nresilient empirical sweep (%s):\n"
-        (Faults.Plan.describe faults);
+      Printf.printf "\nresilient empirical sweep (%s, %d domains):\n"
+        (Faults.Plan.describe faults) (Pool.size pool);
       Printf.printf "  chosen      %s%s\n"
         (Config.describe r.Tuner.chosen)
         (if r.Tuner.degraded then "  [degraded: analytic fallback]" else "");
@@ -374,7 +447,13 @@ let tune_cmd =
       match resume with
       | Some path -> Printf.printf "  checkpoint  %s\n" path
       | None -> ()
-    end
+    end;
+    let cs = Model_cache.stats cache in
+    Printf.printf
+      "\nmodel cache: %d hits / %d misses (%.0f%% hit rate, %d entries)\n"
+      cs.Model_cache.hits cs.Model_cache.misses
+      (100.0 *. Model_cache.hit_rate cache)
+      cs.Model_cache.entries
   in
   Cmd.v
     (Cmd.info "tune"
@@ -383,7 +462,7 @@ let tune_cmd =
     Term.(
       const run $ machine_arg $ scale_arg $ stencil_arg $ expr_arg $ dims_arg
       $ threads_arg $ top $ empirical_arg $ fault_seed_arg $ fault_rate_arg
-      $ noise_arg $ retries_arg $ budget_arg $ resume_arg)
+      $ noise_arg $ retries_arg $ budget_arg $ resume_arg $ domains_arg)
 
 let scheme_name = function
   | `Unfused -> "unfused"
@@ -406,7 +485,7 @@ let ode_cmd =
     let doc = "Interior grid points per dimension." in
     Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc)
   in
-  let run machine scale mname pname n threads =
+  let run machine scale mname pname n threads domains =
     protect @@ fun () ->
     let m = or_die (machine_of_string ~scale machine) in
     let tab =
@@ -423,7 +502,9 @@ let ode_cmd =
       | _ -> or_die (Error (`Msg ("unknown pde " ^ pname)))
     in
     let h = 1e-5 in
-    let candidates = Offsite.evaluate m pde tab ~h ~threads in
+    with_domains domains @@ fun pool ->
+    let cache = Model_cache.shared in
+    let candidates = Offsite.evaluate ~cache ~pool m pde tab ~h ~threads in
     let tbl =
       Yasksite_util.Table.create
         ~title:
@@ -459,14 +540,20 @@ let ode_cmd =
       q.Offsite.kendall
       (if q.Offsite.top1 then "correct" else "WRONG")
       q.Offsite.speedup_selected
-      (100.0 *. q.Offsite.mean_abs_error)
+      (100.0 *. q.Offsite.mean_abs_error);
+    let cs = Model_cache.stats cache in
+    Printf.printf
+      "model cache: %d hits / %d misses (%.0f%% hit rate, %d entries)\n"
+      cs.Model_cache.hits cs.Model_cache.misses
+      (100.0 *. Model_cache.hit_rate cache)
+      cs.Model_cache.entries
   in
   Cmd.v
     (Cmd.info "ode"
        ~doc:"Rank ODE implementation variants (the Offsite integration)")
     Term.(
       const run $ machine_arg $ scale_arg $ method_arg $ pde_arg $ n_arg
-      $ threads_arg)
+      $ threads_arg $ domains_arg)
 
 let lint_cmd =
   let inputs_arg =

@@ -19,7 +19,9 @@ module Model = Yasksite_ecm.Model
 module Incore = Yasksite_ecm.Incore
 module Lc = Yasksite_ecm.Lc
 module Advisor = Yasksite_ecm.Advisor
+module Model_cache = Yasksite_ecm.Cache
 module Cachesim = Yasksite_cachesim.Hierarchy
+module Pool = Yasksite_util.Pool
 
 module Engine = struct
   module Sweep = Yasksite_engine.Sweep

@@ -47,7 +47,14 @@ module Model = Yasksite_ecm.Model
 module Incore = Yasksite_ecm.Incore
 module Lc = Yasksite_ecm.Lc
 module Advisor = Yasksite_ecm.Advisor
+
+module Model_cache = Yasksite_ecm.Cache
+(** Memoization of ECM model evaluations (bounded, domain-safe LRU). *)
+
 module Cachesim = Yasksite_cachesim.Hierarchy
+
+module Pool = Yasksite_util.Pool
+(** Reusable domain pool backing every [?pool] parameter in the API. *)
 
 module Engine : sig
   module Sweep = Yasksite_engine.Sweep

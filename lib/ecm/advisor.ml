@@ -1,5 +1,6 @@
 module Machine = Yasksite_arch.Machine
 module Analysis = Yasksite_stencil.Analysis
+module Pool = Yasksite_util.Pool
 
 let dedup_options l =
   let seen = Hashtbl.create 16 in
@@ -78,10 +79,20 @@ let space m ~dims ~threads ~rank =
         folds)
     blocks
 
-let rank_all m (a : Analysis.t) ~dims ~threads =
+let rank_all ?cache ?pool m (a : Analysis.t) ~dims ~threads =
   let configs = space m ~dims ~threads ~rank:a.spec.rank in
+  let predict c =
+    match cache with
+    | Some cache -> Cache.predict cache m a ~dims ~config:c
+    | None -> Model.predict m a ~dims ~config:c
+  in
+  let score c = (c, predict c) in
   let scored =
-    List.map (fun c -> (c, Model.predict m a ~dims ~config:c)) configs
+    (* The model is pure, so the parallel map returns exactly the
+       sequential scores in the same order. *)
+    match pool with
+    | Some pool -> Pool.parallel_map pool configs ~f:score
+    | None -> List.map score configs
   in
   (* Stable sort keeps enumeration order among ties: simpler first. *)
   List.stable_sort
@@ -89,7 +100,7 @@ let rank_all m (a : Analysis.t) ~dims ~threads =
       compare p2.Model.lups_chip p1.Model.lups_chip)
     scored
 
-let best m a ~dims ~threads =
-  match rank_all m a ~dims ~threads with
+let best ?cache ?pool m a ~dims ~threads =
+  match rank_all ?cache ?pool m a ~dims ~threads with
   | [] -> invalid_arg "Advisor.best: empty space"
   | (c, p) :: _ -> (c, p)

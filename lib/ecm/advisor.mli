@@ -24,6 +24,8 @@ val space :
 (** Full cross product of the candidates at a fixed thread count. *)
 
 val best :
+  ?cache:Cache.t ->
+  ?pool:Yasksite_util.Pool.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Analysis.t ->
   dims:int array ->
@@ -34,9 +36,14 @@ val best :
     the enumeration). *)
 
 val rank_all :
+  ?cache:Cache.t ->
+  ?pool:Yasksite_util.Pool.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Analysis.t ->
   dims:int array ->
   threads:int ->
   (Config.t * Model.prediction) list
-(** Every configuration with its prediction, best first. *)
+(** Every configuration with its prediction, best first. Model
+    evaluations go through [cache] when given (memoized across calls)
+    and are spread over [pool]'s domains when given; both leave the
+    result exactly equal to the sequential, uncached ranking. *)

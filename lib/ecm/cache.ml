@@ -1,0 +1,155 @@
+module Machine = Yasksite_arch.Machine
+module Cache_level = Yasksite_arch.Cache_level
+module Analysis = Yasksite_stencil.Analysis
+module Spec = Yasksite_stencil.Spec
+
+(* Memoization of [Model.predict]. The model is pure — its output is a
+   function of the machine, the kernel, the grid size and the config —
+   so repeated rankings (Offsite scoring many variants on one machine,
+   a tuner re-ranking after a resume) can reuse earlier evaluations.
+
+   Keys are content fingerprints, not physical identities: two
+   structurally equal machines hit the same entries, and a machine
+   edited between calls misses as it must. *)
+
+type entry = { prediction : Model.prediction; mutable last_use : int }
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { hits : int; misses : int; entries : int; capacity : int }
+
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  { capacity;
+    table = Hashtbl.create (min capacity 1024);
+    mutex = Mutex.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0 }
+
+let shared = create ()
+
+(* Canonical machine rendering for fingerprinting. Floats use %h so the
+   fingerprint distinguishes every representable value. *)
+let machine_fingerprint (m : Machine.t) =
+  let b = Buffer.create 256 in
+  let vendor =
+    match m.vendor with
+    | Machine.Intel -> "intel"
+    | Machine.Amd -> "amd"
+    | Machine.Generic -> "generic"
+  in
+  Buffer.add_string b
+    (Printf.sprintf "%s|%s|%h|%d|%d,%d,%d,%d,%d|" m.name vendor m.freq_ghz
+       m.cores m.simd.dp_lanes m.simd.fma_ports m.simd.add_ports
+       m.simd.load_ports m.simd.store_ports);
+  Array.iter
+    (fun (c : Cache_level.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%d,%d,%d,%h,%h,%s;" c.name c.size_bytes c.assoc
+           c.line_bytes c.shared_by c.bytes_per_cycle c.latency_cycles
+           (match c.fill with
+           | Cache_level.Inclusive -> "incl"
+           | Cache_level.Victim -> "victim")))
+    m.caches;
+  Buffer.add_string b
+    (Printf.sprintf "|%h|%h|%s" m.mem_bw_chip_gbs m.mem_latency_cycles
+       (match m.overlap with
+       | Machine.Serial -> "serial"
+       | Machine.Overlapping -> "overlap"));
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* The kernel's behaviourally relevant content: its C rendering covers
+   the expression (resolved coefficients included) and field accesses;
+   rank and field count guard the rest of the spec. *)
+let kernel_signature (a : Analysis.t) =
+  let s = a.Analysis.spec in
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%s|%d|%d|%s" s.Spec.name s.Spec.rank s.Spec.n_fields
+          (Spec.to_c s)))
+
+let dims_str dims =
+  String.concat "x" (Array.to_list (Array.map string_of_int dims))
+
+let key m a ~dims ~config =
+  (* [Config.describe] covers block, fold, wavefront, threads and
+     streaming stores — the full config. *)
+  Printf.sprintf "%s|%s|%s|%s" (machine_fingerprint m) (kernel_signature a)
+    (dims_str dims) (Config.describe config)
+
+(* Evict the least-recently-used entry. Linear scan: eviction only runs
+   once the cache is full, and capacity is sized so that is rare. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, age) when age <= e.last_use -> ()
+      | _ -> victim := Some (k, e.last_use))
+    t.table;
+  match !victim with None -> () | Some (k, _) -> Hashtbl.remove t.table k
+
+let predict t m a ~dims ~config =
+  let k = key m a ~dims ~config in
+  Mutex.lock t.mutex;
+  t.tick <- t.tick + 1;
+  let tick = t.tick in
+  let cached =
+    match Hashtbl.find_opt t.table k with
+    | Some e ->
+        t.hits <- t.hits + 1;
+        e.last_use <- tick;
+        Some e.prediction
+    | None ->
+        t.misses <- t.misses + 1;
+        None
+  in
+  Mutex.unlock t.mutex;
+  match cached with
+  | Some p -> p
+  | None ->
+      (* Compute outside the lock so concurrent misses don't serialise
+         on one model evaluation. Two domains missing on the same key
+         both compute — harmless, the model is pure and the second
+         insert just refreshes the entry. *)
+      let p = Model.predict m a ~dims ~config in
+      Mutex.lock t.mutex;
+      if not (Hashtbl.mem t.table k) && Hashtbl.length t.table >= t.capacity
+      then evict_lru t;
+      Hashtbl.replace t.table k { prediction = p; last_use = tick };
+      Mutex.unlock t.mutex;
+      p
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    { hits = t.hits;
+      misses = t.misses;
+      entries = Hashtbl.length t.table;
+      capacity = t.capacity }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let hit_rate t =
+  let s = stats t in
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let clear t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.table;
+  t.tick <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.mutex

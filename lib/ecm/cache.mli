@@ -1,0 +1,50 @@
+(** Memoization of ECM model evaluations.
+
+    [Model.predict] is pure, so its results can be cached across the
+    repeated rankings the stack performs: Offsite scores many ODE
+    variants against one machine, tuners re-rank on resume, and a
+    parallel sweep's domains evaluate overlapping spaces. Entries are
+    keyed by {e content} — machine fingerprint x kernel signature x
+    grid dims x full configuration (threads included) — so structurally
+    equal inputs hit regardless of physical identity.
+
+    The cache is a bounded LRU and is safe to share between domains
+    (lookups and inserts are mutex-protected; model evaluation happens
+    outside the lock). *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;  (** current resident entries *)
+  capacity : int;
+}
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] builds an empty cache evicting least-recently-used
+    entries beyond [capacity] (default 65536). [capacity] must be
+    >= 1. *)
+
+val shared : t
+(** A process-wide cache at the default capacity, used by the tuner and
+    Offsite paths unless told otherwise. *)
+
+val predict :
+  t ->
+  Yasksite_arch.Machine.t ->
+  Yasksite_stencil.Analysis.t ->
+  dims:int array ->
+  config:Config.t ->
+  Model.prediction
+(** Memoized [Model.predict]: returns the cached prediction when the
+    (machine, kernel, dims, config) content key was seen before, else
+    evaluates the model and caches the result. *)
+
+val stats : t -> stats
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; 0 before any lookup. *)
+
+val clear : t -> unit
+(** Drop all entries and zero the counters. *)

@@ -44,7 +44,7 @@ let slice_dims ~dims ~rank ~wavefront ~threads =
   in
   (sliced, min 1.0 balance)
 
-let make_grids spec ~dims ~config ~rng =
+let make_grids spec ~space ~dims ~config ~rng =
   let info = Analysis.of_spec spec in
   let halo = Analysis.halo info in
   let layout =
@@ -53,7 +53,7 @@ let make_grids spec ~dims ~config ~rng =
     | Some f -> Grid.Folded (Array.copy f)
   in
   let fresh () =
-    let g = Grid.create ~halo ~layout ~dims () in
+    let g = Grid.create ~space ~halo ~layout ~dims () in
     Grid.fill g ~f:(fun _ -> Prng.float_range rng ~lo:(-1.0) ~hi:1.0);
     Grid.halo_dirichlet g 0.0;
     g
@@ -103,9 +103,13 @@ let stencil_sweep ?(clock = Clock.system) (m : Machine.t) spec ~dims ~config =
   let sliced, balance =
     slice_dims ~dims ~rank ~wavefront:config.Config.wavefront ~threads
   in
-  Grid.reset_address_space ();
+  (* A private address space per measurement: the same address sequence
+     a freshly reset global allocator would produce, without mutating
+     shared state — concurrent measurements (a parallel tuning sweep)
+     stay bit-identical to sequential ones. *)
+  let space = Grid.fresh_space () in
   let rng = Prng.create ~seed:42 in
-  let info, inputs, output = make_grids spec ~dims:sliced ~config ~rng in
+  let info, inputs, output = make_grids spec ~space ~dims:sliced ~config ~rng in
   let trace = Hierarchy.create ~active_cores:threads m in
   let lanes = m.simd.dp_lanes in
   let vec_unit =

@@ -5,6 +5,7 @@ module Analysis = Yasksite_stencil.Analysis
 module Compile = Yasksite_stencil.Compile
 module Expr = Yasksite_stencil.Expr
 module Config = Yasksite_ecm.Config
+module Pool = Yasksite_util.Pool
 
 type stats = { points : int; vec_units : int; rows : int; blocks : int }
 
@@ -204,7 +205,70 @@ let run_region ?trace ?(config = Config.default) ?vec_unit spec ~inputs ~output
       done);
   { points = !points; vec_units = !vec_units; rows = !rows; blocks = !blocks }
 
-let run ?trace ?config ?vec_unit spec ~inputs ~output =
+let run_sequential ?trace ?config ?vec_unit spec ~inputs ~output =
   let dims = Grid.dims output in
   let lo = Array.map (fun _ -> 0) dims in
   run_region ?trace ?config ?vec_unit spec ~inputs ~output ~lo ~hi:dims
+
+(* Domain-parallel sweep. The interior is split along the blocked
+   dimension (dim 0 for rank 1, dim 1 — x or y — otherwise) at block
+   boundaries, so every slice is a whole number of block columns:
+   the union of the slices' loop structures is exactly the sequential
+   one, making the returned stats bit-identical to [run_sequential]
+   and the written output regions disjoint. Unblocked configs have a
+   single block column and run sequentially — spatial blocking is what
+   creates the parallelism, exactly as it creates the per-thread
+   partition on the modelled machine. *)
+let run ?pool ?trace ?config ?vec_unit spec ~inputs ~output =
+  match pool with
+  | None -> run_sequential ?trace ?config ?vec_unit spec ~inputs ~output
+  | Some pool ->
+      let dims = Grid.dims output in
+      let rank = Array.length dims in
+      let cfg = match config with Some c -> c | None -> Config.default in
+      let block = Config.block_extents cfg ~dims in
+      let pd = if rank = 1 then 0 else 1 in
+      let bsize = block.(pd) in
+      let nblocks = ceil_div dims.(pd) bsize in
+      let nslices = min (Pool.size pool) nblocks in
+      if nslices < 2 then
+        run_sequential ?trace ?config ?vec_unit spec ~inputs ~output
+      else begin
+        let bounds s =
+          (* Slice [s] owns block columns [nblocks*s/nslices,
+             nblocks*(s+1)/nslices) along the partition dimension. *)
+          let b0 = nblocks * s / nslices and b1 = nblocks * (s + 1) / nslices in
+          let lo = Array.make rank 0 and hi = Array.copy dims in
+          lo.(pd) <- b0 * bsize;
+          hi.(pd) <- min dims.(pd) (b1 * bsize);
+          (lo, hi)
+        in
+        let out = Array.make nslices zero_stats in
+        (match trace with
+        | None ->
+            Pool.parallel_for ~chunk:1 pool ~n:nslices (fun s ->
+                let lo, hi = bounds s in
+                out.(s) <-
+                  run_region ?config ?vec_unit spec ~inputs ~output ~lo ~hi)
+        | Some h ->
+            (* Each slice simulates against a private clone of the shared
+               hierarchy's current state, counting only its own events;
+               the clones' counters are merged at the barrier and the last
+               slice's contents adopted (the nearest sequential-end
+               state). Slice boundaries depend only on the pool width, so
+               the merged counts are deterministic for a given width. *)
+            let clones =
+              Array.init nslices (fun _ ->
+                  let c = Hierarchy.clone h in
+                  Hierarchy.reset_counters c;
+                  c)
+            in
+            Pool.parallel_for ~chunk:1 pool ~n:nslices (fun s ->
+                let lo, hi = bounds s in
+                out.(s) <-
+                  run_region ~trace:clones.(s) ?config ?vec_unit spec ~inputs
+                    ~output ~lo ~hi);
+            Array.iter (fun c -> Hierarchy.merge_counters ~into:h c) clones;
+            Hierarchy.adopt_contents ~into:h clones.(nslices - 1));
+        Array.fold_left add_stats zero_stats out
+      end

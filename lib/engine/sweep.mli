@@ -23,6 +23,7 @@ val zero_stats : stats
 val add_stats : stats -> stats -> stats
 
 val run :
+  ?pool:Yasksite_util.Pool.t ->
   ?trace:Yasksite_cachesim.Hierarchy.t ->
   ?config:Yasksite_ecm.Config.t ->
   ?vec_unit:int array ->
@@ -39,7 +40,20 @@ val run :
     the grids; it does not relayout them. [vec_unit] is the SIMD
     work-unit shape used for [vec_units] accounting (default: the
     config's fold extents; a linear-layout kernel on an 8-lane machine
-    would pass [\[|1;1;8|\]]). *)
+    would pass [\[|1;1;8|\]]).
+
+    With [pool], the sweep is split along the blocked dimension at
+    block boundaries and slices run on the pool's domains. Output
+    values and the returned stats are bit-identical to the sequential
+    sweep (slices write disjoint regions and cover the same loop
+    structure). A traced parallel sweep drives one {e clone} of the
+    hierarchy per slice and merges their event counts back at the
+    barrier (the hierarchy then holds the last slice's contents) —
+    counts are deterministic for a given pool width but, unlike the
+    output, can differ from the sequential trace because slices don't
+    see each other's cache state. Unblocked configs have one block
+    column and run sequentially: spatial blocking is what creates the
+    parallelism. *)
 
 val run_region :
   ?trace:Yasksite_cachesim.Hierarchy.t ->

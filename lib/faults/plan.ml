@@ -59,6 +59,13 @@ let injector ?rng plan =
   in
   { plan; rng; draws = 0; faults = 0 }
 
+(* The stream candidate [index] would receive from sequential splitting
+   of the plan seed, derived in O(1): concurrent candidates draw their
+   faults without sharing a generator, and a candidate's outcomes do
+   not depend on how many draws earlier candidates made. *)
+let injector_at plan ~index =
+  injector ~rng:(Prng.create_indexed ~seed:plan.seed ~index) plan
+
 let draw inj =
   let p = inj.plan in
   inj.draws <- inj.draws + 1;

@@ -53,6 +53,13 @@ val injector : ?rng:Yasksite_util.Prng.t -> t -> injector
 (** Fresh injector; the stream is derived from [plan.seed] unless an
     explicit [rng] is supplied. *)
 
+val injector_at : t -> index:int -> injector
+(** [injector_at plan ~index] is the injector for the [index]-th
+    consumer (a tuning candidate, say): its stream is the [index]-th
+    sequential split of the plan seed, computed in O(1) without shared
+    state, so a given consumer draws identical outcomes whether
+    consumers are processed in order or concurrently. *)
+
 val draw : injector -> outcome
 (** Next outcome of the fault stream. *)
 

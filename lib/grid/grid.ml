@@ -14,13 +14,22 @@ type t = {
   base : int;
 }
 
-let next_base = ref 0x100000
+(* Address spaces are allocated with atomics so grids created from
+   several domains at once (a parallel tuning sweep building its
+   candidates' grids) can never be handed overlapping simulated
+   address ranges. *)
+type space = { next_base : int Atomic.t; alloc_count : int Atomic.t }
 
-let alloc_count = ref 0
+let first_base = 0x100000
+
+let fresh_space () =
+  { next_base = Atomic.make first_base; alloc_count = Atomic.make 0 }
+
+let global_space = fresh_space ()
 
 let reset_address_space () =
-  next_base := 0x100000;
-  alloc_count := 0
+  Atomic.set global_space.next_base first_base;
+  Atomic.set global_space.alloc_count 0
 
 let page = 4096
 
@@ -30,19 +39,17 @@ let page = 4096
    cache sets. *)
 let stagger_lines = 9
 
-let allocate_base nbytes =
-  let stagger = !alloc_count mod 64 * stagger_lines * 64 in
-  incr alloc_count;
-  let b = !next_base + stagger in
-  let nbytes = (nbytes + stagger + page - 1) / page * page in
-  next_base := !next_base + nbytes;
-  b
+let allocate_base space nbytes =
+  let count = Atomic.fetch_and_add space.alloc_count 1 in
+  let stagger = count mod 64 * stagger_lines * 64 in
+  let reserved = (nbytes + stagger + page - 1) / page * page in
+  Atomic.fetch_and_add space.next_base reserved + stagger
 
 let product = Array.fold_left ( * ) 1
 
 let round_up n m = (n + m - 1) / m * m
 
-let create ?halo ?(layout = Linear) ~dims () =
+let create ?(space = global_space) ?halo ?(layout = Linear) ~dims () =
   let rank = Array.length dims in
   if rank < 1 || rank > 3 then invalid_arg "Grid.create: rank must be 1..3";
   Array.iter
@@ -75,7 +82,7 @@ let create ?halo ?(layout = Linear) ~dims () =
   let len = product padded in
   let data = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len in
   Bigarray.Array1.fill data 0.0;
-  let base = allocate_base (8 * len) in
+  let base = allocate_base space (8 * len) in
   { dims; halo; left_pad; layout; fold; total; padded; blocks; lanes; data;
     base }
 

@@ -22,11 +22,30 @@ type layout =
 
 type t
 
-val create : ?halo:int array -> ?layout:layout -> dims:int array -> unit -> t
+type space
+(** An independent virtual-address allocator. Grids created in the same
+    space get disjoint, deterministically staggered address ranges;
+    grids in different spaces may alias (they model separate simulated
+    heaps). Allocation within a space is atomic, so one space may be
+    shared by concurrent domains. *)
+
+val fresh_space : unit -> space
+(** A new allocator starting at the canonical first base address. Two
+    fresh spaces hand out identical address sequences, which is what
+    per-measurement determinism under domain parallelism relies on. *)
+
+val global_space : space
+(** The process-wide default space used when {!create} is not given an
+    explicit one. *)
+
+val create :
+  ?space:space -> ?halo:int array -> ?layout:layout -> dims:int array ->
+  unit -> t
 (** [create ~dims ()] allocates a zero-filled grid. [dims] must have rank
     1..3 with positive extents; [halo] defaults to all zeros and must
     match the rank; a [Folded] layout must match the rank with positive
-    fold extents. *)
+    fold extents. Virtual addresses come from [space] (default
+    {!global_space}). *)
 
 val rank : t -> int
 
@@ -101,4 +120,7 @@ val footprint_bytes : t -> int
 (** Allocated bytes (8 * {!length}). *)
 
 val reset_address_space : unit -> unit
-(** Restart the virtual-address allocator (for test isolation). *)
+(** Restart {!global_space} (for test isolation). Prefer passing a
+    {!fresh_space} to {!create}: resetting the shared allocator while
+    another domain allocates is atomically safe but can still interleave
+    address sequences. *)

@@ -3,7 +3,9 @@ module Analysis = Yasksite_stencil.Analysis
 module Config = Yasksite_ecm.Config
 module Model = Yasksite_ecm.Model
 module Advisor = Yasksite_ecm.Advisor
+module Cache = Yasksite_ecm.Cache
 module Measure = Yasksite_engine.Measure
+module Pool = Yasksite_util.Pool
 module Pde = Yasksite_ode.Pde
 module Tableau = Yasksite_ode.Tableau
 
@@ -15,8 +17,8 @@ type candidate = {
   measured_step_seconds : float;
 }
 
-let best_static_config m info ~dims ~threads =
-  let ranked = Advisor.rank_all m info ~dims ~threads in
+let best_static_config ?(cache = Cache.shared) ?pool m info ~dims ~threads =
+  let ranked = Advisor.rank_all ~cache ?pool m info ~dims ~threads in
   let static =
     List.filter (fun (c, _) -> c.Config.wavefront = 1) ranked
   in
@@ -24,7 +26,8 @@ let best_static_config m info ~dims ~threads =
   | (c, _) :: _ -> c
   | [] -> Config.v ~threads ()
 
-let score m (pde : Pde.t) (variant : Variant.t) ~threads ~tuned =
+let score ?(cache = Cache.shared) ?pool m (pde : Pde.t) (variant : Variant.t)
+    ~threads ~tuned =
   let dims = pde.Pde.dims in
   let points = float_of_int (Array.fold_left ( * ) 1 dims) in
   let per_kernel =
@@ -32,10 +35,10 @@ let score m (pde : Pde.t) (variant : Variant.t) ~threads ~tuned =
       (fun (k : Variant.kernel) ->
         let info = Analysis.of_spec k.Variant.spec in
         let config =
-          if tuned then best_static_config m info ~dims ~threads
+          if tuned then best_static_config ~cache ?pool m info ~dims ~threads
           else Config.v ~threads ()
         in
-        let prediction = Model.predict m info ~dims ~config in
+        let prediction = Cache.predict cache m info ~dims ~config in
         let measured = Measure.stencil_sweep m k.Variant.spec ~dims ~config in
         ( k.Variant.label,
           config,
@@ -51,23 +54,28 @@ let score m (pde : Pde.t) (variant : Variant.t) ~threads ~tuned =
     measured_step_seconds =
       List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0.0 per_kernel }
 
-let evaluate_variants m pde variants ~threads =
+let evaluate_variants ?(cache = Cache.shared) ?pool m pde variants ~threads =
+  let jobs =
+    List.concat_map (fun v -> [ (v, false); (v, true) ]) variants
+  in
+  let score_one (v, tuned) = score ~cache ?pool m pde v ~threads ~tuned in
   let candidates =
-    List.concat_map
-      (fun v ->
-        [ score m pde v ~threads ~tuned:false;
-          score m pde v ~threads ~tuned:true ])
-      variants
+    (* Scoring is deterministic per candidate (each measurement owns its
+       address space), so the parallel map equals the sequential one. *)
+    match pool with
+    | Some pool when Pool.size pool > 1 ->
+        Pool.parallel_map ~chunk:1 pool jobs ~f:score_one
+    | _ -> List.map score_one jobs
   in
   List.sort
     (fun a b -> compare a.predicted_step_seconds b.predicted_step_seconds)
     candidates
 
-let evaluate_mixed m pde tab ~h ~threads =
-  evaluate_variants m pde (Variant.all_mixed tab pde ~h) ~threads
+let evaluate_mixed ?cache ?pool m pde tab ~h ~threads =
+  evaluate_variants ?cache ?pool m pde (Variant.all_mixed tab pde ~h) ~threads
 
-let evaluate m pde tab ~h ~threads =
-  evaluate_variants m pde (Variant.all tab pde ~h) ~threads
+let evaluate ?cache ?pool m pde tab ~h ~threads =
+  evaluate_variants ?cache ?pool m pde (Variant.all tab pde ~h) ~threads
 
 type quality = {
   kendall : float;

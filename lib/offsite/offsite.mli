@@ -14,6 +14,8 @@ type candidate = {
 }
 
 val score :
+  ?cache:Yasksite_ecm.Cache.t ->
+  ?pool:Yasksite_util.Pool.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_ode.Pde.t ->
   Variant.t ->
@@ -27,6 +29,8 @@ val score :
     default (unblocked, linear) configuration. *)
 
 val evaluate :
+  ?cache:Yasksite_ecm.Cache.t ->
+  ?pool:Yasksite_util.Pool.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_ode.Pde.t ->
   Yasksite_ode.Tableau.t ->
@@ -34,9 +38,14 @@ val evaluate :
   threads:int ->
   candidate list
 (** All four candidates ({unfused, fused} x {naive, tuned}), sorted by
-    predicted time, fastest first. *)
+    predicted time, fastest first. ECM model evaluations are memoized
+    in [cache] (default {!Yasksite_ecm.Cache.shared}) — variants share
+    kernels, so repeated rankings hit; candidates are scored on
+    [pool]'s domains when given. Neither changes the result. *)
 
 val evaluate_mixed :
+  ?cache:Yasksite_ecm.Cache.t ->
+  ?pool:Yasksite_util.Pool.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_ode.Pde.t ->
   Yasksite_ode.Tableau.t ->
@@ -119,6 +128,8 @@ val rank_methods_at_accuracy :
     problem). *)
 
 val best_static_config :
+  ?cache:Yasksite_ecm.Cache.t ->
+  ?pool:Yasksite_util.Pool.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Analysis.t ->
   dims:int array ->

@@ -4,10 +4,12 @@ module Analysis = Yasksite_stencil.Analysis
 module Config = Yasksite_ecm.Config
 module Model = Yasksite_ecm.Model
 module Advisor = Yasksite_ecm.Advisor
+module Cache = Yasksite_ecm.Cache
 module Measure = Yasksite_engine.Measure
 module Lint = Yasksite_lint.Lint
 module Clock = Yasksite_util.Clock
 module Prng = Yasksite_util.Prng
+module Pool = Yasksite_util.Pool
 module Plan = Yasksite_faults.Plan
 module Policy = Yasksite_faults.Policy
 module Retry = Yasksite_faults.Retry
@@ -31,11 +33,12 @@ type result = {
   wall_seconds : float;
 }
 
-let tune_analytic ?(clock = Clock.system) m spec ~dims ~threads =
+let tune_analytic ?(cache = Cache.shared) ?pool ?(clock = Clock.system) m spec
+    ~dims ~threads =
   let t0 = Clock.now clock in
   Lint.gate ~context:"Tuner.tune_analytic" (Lint.Kernel.spec spec);
   let info = Analysis.of_spec spec in
-  let ranked = Advisor.rank_all m info ~dims ~threads in
+  let ranked = Advisor.rank_all ~cache ?pool m info ~dims ~threads in
   let chosen, prediction =
     match ranked with
     | [] -> invalid_arg "Tuner.tune_analytic: empty space"
@@ -64,8 +67,13 @@ let checkpoint_key m spec ~dims ~threads ~space ~(faults : Plan.t) =
        (Printf.sprintf "%s|%s|%s|t=%d|seed=%d|%s" m.Machine.name
           spec.Spec.name dims_s threads faults.Plan.seed space_s))
 
+(* Jitter streams are derived from a seed decorrelated from the fault
+   seed so backoff-delay sampling never perturbs fault outcomes. *)
+let jitter_seed_salt = 0x5DEECE66
+
 let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
-    ?(clock = Clock.system) ?checkpoint m spec ~dims ~threads =
+    ?(clock = Clock.system) ?checkpoint ?pool ?(cache = Cache.shared) m spec
+    ~dims ~threads =
   let t0 = Clock.now clock in
   Lint.gate ~context:"Tuner.tune_empirical" (Lint.Kernel.spec spec);
   (* User-supplied spaces are gated; advisor-generated candidates are the
@@ -90,10 +98,15 @@ let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
   let vnow () = Clock.now clock +. !charged in
   let sleep d = charged := !charged +. d in
   let deadline = t0 +. policy.Policy.pass_budget_s in
-  let inj = Plan.injector faults in
-  (* Backoff jitter draws from its own stream so delay sampling never
-     perturbs the fault outcomes of later candidates. *)
-  let jitter_rng = Prng.create ~seed:(faults.Plan.seed lxor 0x5DEECE66) in
+  (* Per-candidate fault and jitter streams, derived in O(1) from the
+     seeds by candidate index: candidate [i] draws the same outcomes
+     whether the sweep runs candidates in order or spread over domains,
+     which is what makes parallel tuning bit-identical to sequential. *)
+  let injector_at idx = Plan.injector_at faults ~index:idx in
+  let jitter_at idx =
+    Prng.create_indexed ~seed:(faults.Plan.seed lxor jitter_seed_salt)
+      ~index:idx
+  in
   let key =
     lazy (checkpoint_key m spec ~dims ~threads ~space ~faults)
   in
@@ -124,16 +137,122 @@ let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
     | Some (_, best_lups) when best_lups >= lups -> ()
     | _ -> best := Some (config, lups)
   in
-  let measure_once config () =
-    match Plan.draw inj with
-    | Plan.Transient_failure -> Error "transient failure"
-    | Plan.Timeout t ->
-        sleep t;
-        Error "timeout"
-    | Plan.Run factor ->
-        let meas = Measure.stencil_sweep ~clock m spec ~dims ~config in
-        Ok (meas.Measure.lups_chip /. factor)
+  (* Evaluate one candidate under the given virtual-time regime: run
+     [policy.repeats] retried measurements drawing faults and backoff
+     jitter from the candidate's own streams. Returns the surviving
+     samples (oldest first), attempts spent, successful runs, and the
+     give-up reason if the candidate died. *)
+  let run_candidate ~vnow ~sleep ~deadline idx config =
+    let inj = injector_at idx in
+    let jitter_rng = jitter_at idx in
+    let measure_once () =
+      match Plan.draw inj with
+      | Plan.Transient_failure -> Error "transient failure"
+      | Plan.Timeout t ->
+          sleep t;
+          Error "timeout"
+      | Plan.Run factor ->
+          let meas = Measure.stencil_sweep ~clock m spec ~dims ~config in
+          Ok (meas.Measure.lups_chip /. factor)
+    in
+    let samples = ref [] in
+    let cand_attempts = ref 0 in
+    let cand_runs = ref 0 in
+    let gave_up = ref None in
+    (try
+       for _ = 1 to policy.Policy.repeats do
+         match
+           Retry.run ~policy ~rng:jitter_rng ~now:vnow ~sleep ~deadline
+             measure_once
+         with
+         | Retry.Success (lups, a) ->
+             cand_attempts := !cand_attempts + a;
+             incr cand_runs;
+             samples := lups :: !samples
+         | Retry.Gave_up { reason; attempts = a } ->
+             cand_attempts := !cand_attempts + a;
+             gave_up := Some reason;
+             raise Exit
+       done
+     with Exit -> ());
+    (Array.of_list (List.rev !samples), !cand_attempts, !cand_runs, !gave_up)
   in
+  (* Account one evaluated candidate into the sweep's global state, in
+     candidate order (both the sequential loop and the parallel replay
+     call this with increasing [idx]). *)
+  let account idx config (samples, cand_attempts, cand_runs, gave_up) =
+    runs := !runs + cand_runs;
+    attempts_total := !attempts_total + cand_attempts;
+    match (samples, gave_up) with
+    | [||], reason ->
+        let reason = Option.value reason ~default:"no samples" in
+        if reason = "pass budget exhausted" then begin
+          (* The sweep ran out of wall budget mid-candidate: the
+             candidate is truncated, not dead. Keep it out of the
+             checkpoint (a resumed sweep retries it) and out of the
+             failure fraction. *)
+          out_of_budget := true;
+          decr visited;
+          skipped :=
+            { s_config = config; s_reason = reason;
+              s_attempts = cand_attempts }
+            :: !skipped
+        end
+        else begin
+          incr exhausted;
+          skipped :=
+            { s_config = config; s_reason = reason;
+              s_attempts = cand_attempts }
+            :: !skipped;
+          record idx (Checkpoint.Skipped { reason; attempts = cand_attempts })
+        end
+    | samples, _ ->
+        let lups = Policy.robust_combine policy samples in
+        consider idx config lups;
+        record idx
+          (Checkpoint.Done
+             { lups; runs = Array.length samples; attempts = cand_attempts })
+  in
+  let parallel_width =
+    match pool with Some p -> Pool.size p | None -> 1
+  in
+  (* Candidate evaluations computed ahead of the accounting replay by
+     the parallel phase; [None] where the sequential path (or the
+     checkpoint) makes evaluation unnecessary. *)
+  let precomputed =
+    match pool with
+    | Some pool when parallel_width > 1 ->
+        (* Phase A: evaluate every not-yet-checkpointed candidate on the
+           pool. Each evaluation charges a candidate-local virtual
+           clock and sees no pass deadline — the deadline is applied at
+           candidate granularity in the replay below, so a sweep that
+           runs out of budget skips whole candidates rather than
+           truncating one mid-flight (the one divergence from a
+           budget-bound sequential sweep; with non-binding budgets the
+           two are bit-identical). *)
+        let cands = Array.of_list space in
+        let results = Array.make (Array.length cands) None in
+        let todo =
+          List.filter
+            (fun idx -> List.assoc_opt idx !entries = None)
+            (List.init (Array.length cands) Fun.id)
+        in
+        let todo = Array.of_list todo in
+        Pool.parallel_for ~chunk:1 pool ~n:(Array.length todo) (fun i ->
+            let idx = todo.(i) in
+            let local = ref 0.0 in
+            let vnow () = Clock.now clock +. !local in
+            let sleep d = local := !local +. d in
+            let r =
+              run_candidate ~vnow ~sleep ~deadline:infinity idx cands.(idx)
+            in
+            results.(idx) <- Some (r, !local));
+        Some results
+    | _ -> None
+  in
+  (* Phase B (or the whole sweep when sequential): walk candidates in
+     order, applying checkpoint reuse, the pass deadline, and global
+     accounting deterministically. *)
   List.iteri
     (fun idx config ->
       match List.assoc_opt idx !entries with
@@ -157,61 +276,18 @@ let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
           end
           else begin
             incr visited;
-            let samples = ref [] in
-            let cand_attempts = ref 0 in
-            let gave_up = ref None in
-            (try
-               for _ = 1 to policy.Policy.repeats do
-                 match
-                   Retry.run ~policy ~rng:jitter_rng ~now:vnow ~sleep
-                     ~deadline (measure_once config)
-                 with
-                 | Retry.Success (lups, a) ->
-                     cand_attempts := !cand_attempts + a;
-                     incr runs;
-                     samples := lups :: !samples
-                 | Retry.Gave_up { reason; attempts = a } ->
-                     cand_attempts := !cand_attempts + a;
-                     gave_up := Some reason;
-                     raise Exit
-               done
-             with Exit -> ());
-            attempts_total := !attempts_total + !cand_attempts;
-            match (!samples, !gave_up) with
-            | [], reason ->
-                let reason =
-                  Option.value reason ~default:"no samples"
+            match precomputed with
+            | Some results ->
+                let r, local_charged =
+                  match results.(idx) with
+                  | Some r -> r
+                  | None -> assert false
                 in
-                if reason = "pass budget exhausted" then begin
-                  (* The sweep ran out of wall budget mid-candidate: the
-                     candidate is truncated, not dead. Keep it out of the
-                     checkpoint (a resumed sweep retries it) and out of
-                     the failure fraction. *)
-                  out_of_budget := true;
-                  decr visited;
-                  skipped :=
-                    { s_config = config; s_reason = reason;
-                      s_attempts = !cand_attempts }
-                    :: !skipped
-                end
-                else begin
-                  incr exhausted;
-                  skipped :=
-                    { s_config = config; s_reason = reason;
-                      s_attempts = !cand_attempts }
-                    :: !skipped;
-                  record idx
-                    (Checkpoint.Skipped
-                       { reason; attempts = !cand_attempts })
-                end
-            | samples, _ ->
-                let arr = Array.of_list (List.rev samples) in
-                let lups = Policy.robust_combine policy arr in
-                consider idx config lups;
-                record idx
-                  (Checkpoint.Done
-                     { lups; runs = Array.length arr;
-                       attempts = !cand_attempts })
+                charged := !charged +. local_charged;
+                account idx config r
+            | None ->
+                account idx config
+                  (run_candidate ~vnow ~sleep ~deadline idx config)
           end)
     space;
   let fail_fraction =
@@ -240,12 +316,15 @@ let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
        fall back to the analytic ranking of the same space (the paper's
        point — the model needs no runs at all). *)
     let info = Analysis.of_spec spec in
-    let scored =
-      List.mapi
-        (fun idx c ->
-          (idx, c, (Model.predict m info ~dims ~config:c).Model.lups_chip))
-        space
+    let predict c = (Cache.predict cache m info ~dims ~config:c).Model.lups_chip in
+    let lups =
+      (* Pure model, so the parallel map equals the sequential one. *)
+      match pool with
+      | Some pool when Pool.size pool > 1 ->
+          Pool.parallel_map pool space ~f:predict
+      | _ -> List.map predict space
     in
+    let scored = List.mapi (fun idx (c, p) -> (idx, c, p)) (List.combine space lups) in
     let best_idx, chosen, predicted =
       List.fold_left
         (fun (bi, bc, bp) (i, c, p) ->
@@ -276,9 +355,11 @@ type comparison = {
   quality : float;
 }
 
-let compare_strategies ?space ?faults ?policy m spec ~dims ~threads =
-  let analytic = tune_analytic m spec ~dims ~threads in
-  let empirical = tune_empirical ?space ?faults ?policy m spec ~dims ~threads in
+let compare_strategies ?space ?faults ?policy ?pool m spec ~dims ~threads =
+  let analytic = tune_analytic ?pool m spec ~dims ~threads in
+  let empirical =
+    tune_empirical ?space ?faults ?policy ?pool m spec ~dims ~threads
+  in
   { analytic;
     empirical;
     cost_ratio =

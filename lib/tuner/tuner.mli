@@ -52,6 +52,8 @@ type result = {
 }
 
 val tune_analytic :
+  ?cache:Yasksite_ecm.Cache.t ->
+  ?pool:Yasksite_util.Pool.t ->
   ?clock:Yasksite_util.Clock.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Spec.t ->
@@ -59,7 +61,10 @@ val tune_analytic :
   threads:int ->
   result
 (** Rank the full advisor space with the ECM model, then run one
-    validation measurement of the winner. *)
+    validation measurement of the winner. Model evaluations are
+    memoized in [cache] (default {!Yasksite_ecm.Cache.shared}) and
+    spread over [pool]'s domains when given; neither changes the
+    result. *)
 
 val tune_empirical :
   ?space:Yasksite_ecm.Config.t list ->
@@ -67,6 +72,8 @@ val tune_empirical :
   ?policy:Yasksite_faults.Policy.t ->
   ?clock:Yasksite_util.Clock.t ->
   ?checkpoint:string ->
+  ?pool:Yasksite_util.Pool.t ->
+  ?cache:Yasksite_ecm.Cache.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Spec.t ->
   dims:int array ->
@@ -84,7 +91,21 @@ val tune_empirical :
     matching this sweep's identity, resumed from — completed candidates
     are not re-run. All behaviour is a deterministic function of the
     inputs and [faults.seed]; the [clock] only feeds wall-time
-    accounting and budget enforcement. *)
+    accounting and budget enforcement.
+
+    Every candidate draws its faults and backoff jitter from streams
+    derived from [faults.seed] by candidate {e index}, so with [pool]
+    the candidates are evaluated concurrently and still select the
+    same configuration, measured LUP/s, attempts and skip list as the
+    sequential sweep (property-tested; [wall_seconds] naturally
+    differs). One caveat: the pass budget is enforced at candidate
+    granularity under a pool — a sweep whose budget expires mid-
+    candidate truncates that candidate sequentially but completes it
+    in parallel. With non-binding budgets the two paths are
+    bit-identical. A [pool]ed sweep requires a domain-safe [clock]
+    (the default system clock is). [cache] (default
+    {!Yasksite_ecm.Cache.shared}) memoizes the analytic fallback's
+    model evaluations. *)
 
 type comparison = {
   analytic : result;
@@ -102,6 +123,7 @@ val compare_strategies :
   ?space:Yasksite_ecm.Config.t list ->
   ?faults:Yasksite_faults.Plan.t ->
   ?policy:Yasksite_faults.Policy.t ->
+  ?pool:Yasksite_util.Pool.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Spec.t ->
   dims:int array ->

@@ -15,6 +15,18 @@ let int64 t =
 
 let split t = { state = int64 t }
 
+(* The state of the (index+1)-th split of [create ~seed], computed
+   directly: the parent's k-th raw output is mix(seed + k*gamma), so
+   indexed generators can be derived in O(1) from any position — the
+   key to giving each parallel tuning candidate the same stream it
+   would have received from sequential splitting. *)
+let create_indexed ~seed ~index =
+  if index < 0 then invalid_arg "Prng.create_indexed: negative index";
+  { state =
+      mix
+        (Int64.add (Int64.of_int seed)
+           (Int64.mul golden_gamma (Int64.of_int (index + 1)))) }
+
 let int t ~bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   let mask = Int64.of_int max_int in

@@ -15,6 +15,13 @@ val create : seed:int -> t
 val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t]. *)
 
+val create_indexed : seed:int -> index:int -> t
+(** [create_indexed ~seed ~index] is the generator the [(index+1)]-th
+    call to [split] on [create ~seed] would return, computed in O(1)
+    without shared state. Lets concurrent consumers (one per candidate,
+    say) draw the exact streams sequential splitting would have handed
+    out. [index] must be non-negative. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

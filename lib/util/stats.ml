@@ -26,6 +26,36 @@ let stddev a =
     sqrt (ss /. float_of_int (n - 1))
   end
 
+(* One-pass mean/variance (Welford 1962): numerically stable streaming
+   moments, so benchmark loops can fold samples without a second pass. *)
+type welford = { mutable w_n : int; mutable w_mean : float; mutable w_m2 : float }
+
+let welford_create () = { w_n = 0; w_mean = 0.0; w_m2 = 0.0 }
+
+let welford_add w x =
+  w.w_n <- w.w_n + 1;
+  let delta = x -. w.w_mean in
+  w.w_mean <- w.w_mean +. (delta /. float_of_int w.w_n);
+  w.w_m2 <- w.w_m2 +. (delta *. (x -. w.w_mean))
+
+let welford_count w = w.w_n
+
+let welford_mean w =
+  if w.w_n = 0 then invalid_arg "Stats.welford_mean: empty accumulator";
+  w.w_mean
+
+let welford_variance w =
+  if w.w_n = 0 then invalid_arg "Stats.welford_variance: empty accumulator";
+  if w.w_n = 1 then 0.0 else w.w_m2 /. float_of_int (w.w_n - 1)
+
+let welford_stddev w = sqrt (welford_variance w)
+
+let mean_variance a =
+  check_nonempty "Stats.mean_variance" a;
+  let w = welford_create () in
+  Array.iter (welford_add w) a;
+  (welford_mean w, welford_variance w)
+
 let sorted_copy a =
   let b = Array.copy a in
   Array.sort compare b;

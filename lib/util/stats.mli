@@ -10,6 +10,31 @@ val geomean : float array -> float
 val stddev : float array -> float
 (** Sample standard deviation (n-1 denominator); 0 for singletons. *)
 
+type welford
+(** One-pass (Welford) accumulator for streaming mean and variance.
+    Numerically stable: no catastrophic cancellation for samples with a
+    large common offset, unlike the naive sum-of-squares formula. *)
+
+val welford_create : unit -> welford
+
+val welford_add : welford -> float -> unit
+
+val welford_count : welford -> int
+
+val welford_mean : welford -> float
+(** Raises [Invalid_argument] on an empty accumulator. *)
+
+val welford_variance : welford -> float
+(** Sample variance (n-1 denominator); 0 for singletons. Raises
+    [Invalid_argument] on an empty accumulator. *)
+
+val welford_stddev : welford -> float
+
+val mean_variance : float array -> float * float
+(** One-pass [(mean, sample variance)] of a non-empty array; agrees with
+    [(mean a, stddev a ** 2)] up to rounding while reading the data
+    once. *)
+
 val median : float array -> float
 
 val mad : float array -> float

@@ -9,6 +9,7 @@ let () =
       ("engine", Test_engine.suite);
       ("faults", Test_faults.suite);
       ("tuner", Test_tuner.suite);
+      ("parallel", Test_parallel.suite);
       ("ode", Test_ode.suite);
       ("offsite", Test_offsite.suite);
       ("lint", Test_lint.suite);
