@@ -56,7 +56,14 @@ let tune_analytic ?(cache = Cache.shared) ?pool ?(clock = Clock.system) m spec
     wall_seconds = Clock.now clock -. t0 }
 
 (* Checkpoints bind to the full identity of a sweep: a file written for a
-   different machine, kernel, grid, space or fault seed loads as empty. *)
+   different machine, kernel, grid, space or fault seed loads as empty.
+   [checkpoint_scheme] names the fault/jitter-stream derivation; it is
+   bumped whenever that derivation changes (scheme 2: per-candidate
+   indexed streams) so checkpoints written under an older regime miss
+   instead of silently mixing candidates drawn from two different
+   streams. *)
+let checkpoint_scheme = 2
+
 let checkpoint_key m spec ~dims ~threads ~space ~(faults : Plan.t) =
   let dims_s =
     String.concat "x" (Array.to_list (Array.map string_of_int dims))
@@ -64,8 +71,9 @@ let checkpoint_key m spec ~dims ~threads ~space ~(faults : Plan.t) =
   let space_s = String.concat ";" (List.map Config.describe space) in
   Digest.to_hex
     (Digest.string
-       (Printf.sprintf "%s|%s|%s|t=%d|seed=%d|%s" m.Machine.name
-          spec.Spec.name dims_s threads faults.Plan.seed space_s))
+       (Printf.sprintf "scheme=%d|%s|%s|%s|t=%d|seed=%d|%s" checkpoint_scheme
+          m.Machine.name spec.Spec.name dims_s threads faults.Plan.seed
+          space_s))
 
 (* Jitter streams are derived from a seed decorrelated from the fault
    seed so backoff-delay sampling never perturbs fault outcomes. *)
@@ -223,13 +231,18 @@ let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
     match pool with
     | Some pool when parallel_width > 1 ->
         (* Phase A: evaluate every not-yet-checkpointed candidate on the
-           pool. Each evaluation charges a candidate-local virtual
-           clock and sees no pass deadline — the deadline is applied at
-           candidate granularity in the replay below, so a sweep that
-           runs out of budget skips whole candidates rather than
-           truncating one mid-flight (the one divergence from a
-           budget-bound sequential sweep; with non-binding budgets the
-           two are bit-identical). *)
+           pool. The pass deadline is enforced at candidate granularity:
+           before starting a candidate, the real clock is checked
+           against the deadline (charged virtual time is only summed in
+           the replay below, so the parallel check sees wall time only)
+           and expired candidates are left unevaluated; the replay turns
+           the first unevaluated candidate and everything after it into
+           budget skips. A candidate that has already started runs to
+           completion with its own candidate-local virtual clock — a
+           sweep whose budget expires mid-candidate truncates that
+           candidate sequentially but completes it in parallel, the one
+           divergence from a budget-bound sequential sweep. With
+           non-binding budgets the two paths are bit-identical. *)
         let cands = Array.of_list space in
         let results = Array.make (Array.length cands) None in
         let todo =
@@ -240,13 +253,15 @@ let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
         let todo = Array.of_list todo in
         Pool.parallel_for ~chunk:1 pool ~n:(Array.length todo) (fun i ->
             let idx = todo.(i) in
-            let local = ref 0.0 in
-            let vnow () = Clock.now clock +. !local in
-            let sleep d = local := !local +. d in
-            let r =
-              run_candidate ~vnow ~sleep ~deadline:infinity idx cands.(idx)
-            in
-            results.(idx) <- Some (r, !local));
+            if Clock.now clock <= deadline then begin
+              let local = ref 0.0 in
+              let vnow () = Clock.now clock +. !local in
+              let sleep d = local := !local +. d in
+              let r =
+                run_candidate ~vnow ~sleep ~deadline:infinity idx cands.(idx)
+              in
+              results.(idx) <- Some (r, !local)
+            end);
         Some results
     | _ -> None
   in
@@ -267,7 +282,21 @@ let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
             { s_config = config; s_reason = reason; s_attempts = attempts }
             :: !skipped
       | None ->
-          if !out_of_budget || vnow () > deadline then begin
+          (* Sequentially the deadline is checked (in virtual time)
+             before each candidate runs. In parallel the check already
+             happened at the candidate's Phase A start — a candidate
+             left unevaluated there means the deadline expired before
+             it could begin, so it and every later candidate become
+             budget skips; re-checking the clock here would discard
+             results whose measurement cost was already paid. *)
+          let budget_hit =
+            !out_of_budget
+            ||
+            match precomputed with
+            | Some results -> Option.is_none results.(idx)
+            | None -> vnow () > deadline
+          in
+          if budget_hit then begin
             out_of_budget := true;
             skipped :=
               { s_config = config; s_reason = "pass budget exhausted";

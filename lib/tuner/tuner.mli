@@ -99,10 +99,12 @@ val tune_empirical :
     same configuration, measured LUP/s, attempts and skip list as the
     sequential sweep (property-tested; [wall_seconds] naturally
     differs). One caveat: the pass budget is enforced at candidate
-    granularity under a pool — a sweep whose budget expires mid-
-    candidate truncates that candidate sequentially but completes it
-    in parallel. With non-binding budgets the two paths are
-    bit-identical. A [pool]ed sweep requires a domain-safe [clock]
+    granularity under a pool — each candidate's start time is checked
+    against the deadline on the real clock, candidates that start run
+    to completion (where a sequential sweep would truncate one
+    mid-flight), and once one candidate misses the deadline it and all
+    later candidates are reported as budget skips. With non-binding
+    budgets the two paths are bit-identical. A [pool]ed sweep requires a domain-safe [clock]
     (the default system clock is). [cache] (default
     {!Yasksite_ecm.Cache.shared}) memoizes the analytic fallback's
     model evaluations. *)

@@ -13,6 +13,7 @@
 
 type t = {
   domains : int; (* total participants, including the calling domain *)
+  submit : Mutex.t; (* held for a whole job; serialises submitters *)
   mutex : Mutex.t;
   cond : Condition.t;
   mutable job : (unit -> unit) option;
@@ -24,11 +25,13 @@ type t = {
 
 (* Work functions may themselves call into pool operations (a parallel
    tuner measuring candidates whose sweeps are pool-aware). A nested
-   parallel section executed on a worker domain must not wait for the
-   pool — the workers are all busy running the outer job — so it runs
-   its chunks inline instead. *)
-let inside_worker : bool Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> false)
+   parallel section executed by any domain that is already inside a
+   job — a worker, or the caller while it runs its own share of the
+   job — must not wait for the pool (the workers are all busy running
+   the outer job), so it runs its chunks inline instead. Workers set
+   this flag once at spawn; the submitting domain sets it around the
+   job body in [run_job]. *)
+let in_job : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let default_domains () =
   match Sys.getenv_opt "YASKSITE_DOMAINS" with
@@ -45,6 +48,7 @@ let create ?domains () =
   let domains = match domains with Some d -> d | None -> default_domains () in
   if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
   { domains;
+    submit = Mutex.create ();
     mutex = Mutex.create ();
     cond = Condition.create ();
     job = None;
@@ -79,39 +83,51 @@ let ensure_spawned t =
     t.workers <-
       List.init (t.domains - 1) (fun _ ->
           Domain.spawn (fun () ->
-              Domain.DLS.set inside_worker true;
+              Domain.DLS.set in_job true;
               worker_loop t 0))
 
 (* Run [body] on every participant and wait for all of them. [body] must
    be safe to run concurrently with itself and must not raise (the
    parallel drivers below guarantee both). *)
 let run_job t body =
-  if t.domains = 1 || Domain.DLS.get inside_worker then body ()
+  if t.domains = 1 || Domain.DLS.get in_job then body ()
   else begin
-    Mutex.lock t.mutex;
-    if t.shutdown then begin
-      Mutex.unlock t.mutex;
-      invalid_arg "Pool: used after shutdown"
-    end;
-    ensure_spawned t;
-    t.job <- Some body;
-    t.unfinished <- t.domains - 1;
-    t.epoch <- t.epoch + 1;
-    Condition.broadcast t.cond;
-    Mutex.unlock t.mutex;
-    body ();
-    Mutex.lock t.mutex;
-    while t.unfinished > 0 do
-      Condition.wait t.cond t.mutex
-    done;
-    t.job <- None;
-    Mutex.unlock t.mutex
+    (* [t.submit] is held for the whole job so that a second domain
+       submitting concurrently waits for this job to finish instead of
+       overwriting [job]/[unfinished]/[epoch] mid-flight. Nested
+       sections never reach this lock: every participant, the caller
+       included, has [in_job] set and runs them inline above. *)
+    Mutex.lock t.submit;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.submit)
+      (fun () ->
+        Mutex.lock t.mutex;
+        if t.shutdown then begin
+          Mutex.unlock t.mutex;
+          invalid_arg "Pool: used after shutdown"
+        end;
+        ensure_spawned t;
+        t.job <- Some body;
+        t.unfinished <- t.domains - 1;
+        t.epoch <- t.epoch + 1;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex;
+        Domain.DLS.set in_job true;
+        Fun.protect
+          ~finally:(fun () -> Domain.DLS.set in_job false)
+          body;
+        Mutex.lock t.mutex;
+        while t.unfinished > 0 do
+          Condition.wait t.cond t.mutex
+        done;
+        t.job <- None;
+        Mutex.unlock t.mutex)
   end
 
 let parallel_for ?chunk t ~n f =
   if n < 0 then invalid_arg "Pool.parallel_for: negative count";
   if n > 0 then begin
-    if t.domains = 1 || n = 1 || Domain.DLS.get inside_worker then
+    if t.domains = 1 || n = 1 || Domain.DLS.get in_job then
       for i = 0 to n - 1 do
         f i
       done

@@ -41,8 +41,11 @@ val parallel_for : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
     chunks of [chunk] consecutive indices (default: [n / (4 * size)],
     at least 1) claimed dynamically by the participating domains.
     [f] must be safe to call concurrently with itself. Nested calls
-    from inside a worker run inline (sequentially) rather than
-    deadlock. *)
+    from inside a job — whether on a worker domain or on the calling
+    domain while it runs its share of the job — run inline
+    (sequentially) rather than deadlock. Jobs submitted concurrently
+    by distinct domains are serialised: the second submitter blocks
+    until the first job completes. *)
 
 val parallel_map : ?chunk:int -> t -> 'a list -> f:('a -> 'b) -> 'b list
 (** Order-preserving parallel map: for pure [f],

@@ -15,6 +15,7 @@ module Sweep = Yasksite_engine.Sweep
 module Tuner = Yasksite_tuner.Tuner
 module Plan = Yasksite_faults.Plan
 module Policy = Yasksite_faults.Policy
+module Clock = Yasksite_util.Clock
 
 let machine = Machine.test_chip
 
@@ -63,6 +64,41 @@ let test_nested_parallel () =
   in
   Alcotest.(check (list int))
     "nested sums" [ 45; 190; 435; 780 ] sums
+
+let test_nested_from_caller () =
+  (* The submitting domain runs its own share of every job; nested
+     parallel sections it reaches there must run inline exactly like on
+     a worker. Repeating a small nested map many times makes the caller
+     claim nested-section elements on essentially every iteration, so a
+     regression (the caller re-entering the pool mid-job) corrupts the
+     job state and fails fast. *)
+  Pool.with_pool ~domains:2 @@ fun pool ->
+  let l = List.init 8 Fun.id in
+  let inner = List.init 12 Fun.id in
+  let expect = List.map (fun x -> x * x) inner in
+  for _ = 1 to 50 do
+    let ok =
+      Pool.parallel_map ~chunk:1 pool l ~f:(fun _ ->
+          Pool.parallel_map pool inner ~f:(fun x -> x * x) = expect)
+    in
+    Alcotest.(check bool) "nested maps correct" true (List.for_all Fun.id ok)
+  done
+
+let test_concurrent_submitters () =
+  (* Two distinct domains issuing jobs on the same pool: submissions are
+     serialised, so both see correct results. *)
+  Pool.with_pool ~domains:3 @@ fun pool ->
+  let l = List.init 200 Fun.id in
+  let expect = List.map succ l in
+  let rounds = 20 in
+  let submit () = List.init rounds (fun _ -> Pool.parallel_map pool l ~f:succ) in
+  let other = Domain.spawn submit in
+  let mine = submit () in
+  let theirs = Domain.join other in
+  Alcotest.(check bool) "caller's jobs correct" true
+    (List.for_all (( = ) expect) mine);
+  Alcotest.(check bool) "second submitter's jobs correct" true
+    (List.for_all (( = ) expect) theirs)
 
 (* ------------------------------------------------------------------ *)
 (* Sweep partitioning *)
@@ -211,6 +247,36 @@ let prop_tuner_pool_invariant_seeds =
       && seq.Tuner.attempts = par.Tuner.attempts
       && List.length seq.Tuner.skipped = List.length par.Tuner.skipped)
 
+let test_parallel_pass_budget () =
+  (* Under a pool the pass budget is enforced at candidate granularity:
+     candidates whose start time lies past the deadline are never
+     measured and are reported as budget skips. A counting clock makes
+     this deterministic in outline — the first candidate always starts
+     (its check is among the first reads) and the last never does (the
+     8 start checks alone outrun a 5-tick budget). *)
+  let space =
+    List.init 8 (fun i -> Config.v ~threads:2 ~block:[| 0; 4 * (i + 1) |] ())
+  in
+  let dims = [| 32; 32 |] in
+  let ticks = Atomic.make 0 in
+  let clock =
+    Clock.of_fun (fun () -> float_of_int (Atomic.fetch_and_add ticks 1))
+  in
+  let r =
+    Pool.with_pool ~domains:2 (fun pool ->
+        Tuner.tune_empirical ~space
+          ~policy:(Policy.v ~pass_budget_s:5.0 ())
+          ~clock ~pool machine spec2d ~dims ~threads:2)
+  in
+  Alcotest.(check bool) "some candidate ran" true (r.Tuner.kernel_runs >= 1);
+  Alcotest.(check bool) "sweep was cut short" true
+    (r.Tuner.kernel_runs < List.length space);
+  Alcotest.(check bool) "budget skips reported" true
+    (List.exists
+       (fun s -> s.Tuner.s_reason = "pass budget exhausted")
+       r.Tuner.skipped);
+  Alcotest.(check bool) "not degraded by truncation" false r.Tuner.degraded
+
 (* ------------------------------------------------------------------ *)
 (* Prng indexed splits *)
 
@@ -334,6 +400,12 @@ let suite =
     Alcotest.test_case "pool exception safety" `Quick test_pool_exception;
     Alcotest.test_case "nested parallel runs inline" `Quick
       test_nested_parallel;
+    Alcotest.test_case "nested parallel from the caller domain" `Quick
+      test_nested_from_caller;
+    Alcotest.test_case "concurrent submitters serialised" `Quick
+      test_concurrent_submitters;
+    Alcotest.test_case "parallel sweep honours pass budget" `Quick
+      test_parallel_pass_budget;
     Alcotest.test_case "parallel sweep untraced" `Quick
       test_parallel_sweep_untraced;
     Alcotest.test_case "parallel sweep traced" `Quick
