@@ -88,6 +88,14 @@ let nt_arg =
   let doc = "Use non-temporal (streaming) stores for the output." in
   Arg.(value & flag & info [ "nt"; "streaming-stores" ] ~doc)
 
+let stagger_arg =
+  let doc =
+    "Wavefront plane shift per time step (default: streamed-dimension \
+     radius + 1, the smallest provably legal stagger). The \
+     schedule-legality analyzer rejects staggers below that bound."
+  in
+  Arg.(value & opt (some int) None & info [ "stagger" ] ~docv:"N" ~doc)
+
 let domains_arg =
   let doc =
     "Worker domains for parallel ranking, tuning and sweeping (default: \
@@ -95,6 +103,14 @@ let domains_arg =
      recommended domain count). Results are independent of this setting."
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let sanitize_arg =
+  let doc =
+    "Run every measured sweep through the shadow-memory sanitizer: a \
+     legal schedule measures identically, an illegal one aborts with a \
+     YS45x trap instead of silently producing garbage."
+  in
+  Arg.(value & flag & info [ "sanitize" ] ~doc)
 
 (* Explicit --domains gets a private pool (shut down on the way out);
    otherwise the environment-sized shared pool is used. *)
@@ -105,14 +121,18 @@ let with_domains domains f =
 
 let ( let* ) = Result.bind
 
-let build_config ~block ~fold ~wavefront ~threads ~streaming_stores =
+let build_config ?stagger ~block ~fold ~wavefront ~threads ~streaming_stores
+    () =
   let parse_opt = function
     | None -> Ok None
     | Some s -> Result.map (fun d -> Some d) (dims_of_string s)
   in
   let* block = parse_opt block in
   let* fold = parse_opt fold in
-  try Ok (Config.v ?block ?fold ~wavefront ~threads ~streaming_stores ())
+  try
+    Ok
+      (Config.v ?block ?fold ?wavefront_stagger:stagger ~wavefront ~threads
+         ~streaming_stores ())
   with Invalid_argument m -> Error (`Msg m)
 
 let build_kernel ?expr ~machine ~scale ~stencil ~dims () =
@@ -154,6 +174,9 @@ let protect f =
   try f () with
   | Lint.Gate_error msg ->
       prerr_endline ("yasksite: lint: " ^ first_line msg);
+      exit 1
+  | Engine.Sanitizer.Trap _ as e ->
+      prerr_endline ("yasksite: sanitizer: " ^ first_line (Printexc.to_string e));
       exit 1
   | Failure msg ->
       prerr_endline ("yasksite: error: " ^ first_line msg);
@@ -224,7 +247,8 @@ let predict_cmd =
     protect @@ fun () ->
     let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
     let config =
-      or_die (build_config ~block ~fold ~wavefront ~threads ~streaming_stores:nt)
+      or_die
+        (build_config ~block ~fold ~wavefront ~threads ~streaming_stores:nt ())
     in
     let p = predict k ~config in
     if verbose then begin
@@ -269,7 +293,10 @@ let predict_cmd =
 (* Untraced wall-clock sweep, sequential and on the pool: exercises the
    domain partitioning end to end and checks the outputs are
    bit-identical. *)
-let parallel_sweep_demo k ~config pool =
+let parallel_sweep_demo ?(sanitize = false) k ~config pool =
+  (* One sanitizer per run: each [make] call's private address space
+     reuses the same virtual bases, so shadow state must not be shared. *)
+  let san () = if sanitize then Some (Engine.Sanitizer.create ()) else None in
   let halo = Stencil.Analysis.halo k.info in
   let layout =
     match config.Config.fold with
@@ -300,13 +327,14 @@ let parallel_sweep_demo k ~config pool =
   let inputs_s, output_s = make () in
   let _, seq_s =
     time (fun () ->
-        Engine.Sweep.run ~config k.spec ~inputs:inputs_s ~output:output_s)
+        Engine.Sweep.run ?sanitize:(san ()) ~config k.spec ~inputs:inputs_s
+          ~output:output_s)
   in
   let inputs_p, output_p = make () in
   let _, par_s =
     time (fun () ->
-        Engine.Sweep.run ~pool ~config k.spec ~inputs:inputs_p
-          ~output:output_p)
+        Engine.Sweep.run ~pool ?sanitize:(san ()) ~config k.spec
+          ~inputs:inputs_p ~output:output_p)
   in
   let diff = Grid.max_abs_diff output_s output_p in
   Printf.printf
@@ -318,15 +346,18 @@ let parallel_sweep_demo k ~config pool =
 
 let run_cmd =
   let run machine scale stencil expr dims threads block fold wavefront nt
-      domains =
+      stagger domains sanitize =
     protect @@ fun () ->
     let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
     let config =
-      or_die (build_config ~block ~fold ~wavefront ~threads ~streaming_stores:nt)
+      or_die
+        (build_config ?stagger ~block ~fold ~wavefront ~threads
+           ~streaming_stores:nt ())
     in
-    print_string (report k ~config);
+    print_string (report ~sanitize k ~config);
     if domains <> None then
-      with_domains domains (fun pool -> parallel_sweep_demo k ~config pool)
+      with_domains domains (fun pool ->
+          parallel_sweep_demo ~sanitize k ~config pool)
   in
   Cmd.v
     (Cmd.info "run"
@@ -335,7 +366,7 @@ let run_cmd =
     Term.(
       const run $ machine_arg $ scale_arg $ stencil_arg $ expr_arg $ dims_arg
       $ threads_arg $ block_arg $ fold_arg $ wavefront_arg $ nt_arg
-      $ domains_arg)
+      $ stagger_arg $ domains_arg $ sanitize_arg)
 
 let tune_cmd =
   let top =
@@ -381,14 +412,22 @@ let tune_cmd =
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
   in
   let run machine scale stencil expr dims threads top empirical fault_seed
-      fault_rate noise retries budget resume domains =
+      fault_rate noise retries budget resume domains sanitize =
     protect @@ fun () ->
     let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
     with_domains domains @@ fun pool ->
     let cache = Model_cache.shared in
+    let legal = Lint.Schedule.legal k.info ~dims:k.dims in
     let ranked =
-      Advisor.rank_all ~cache ~pool k.machine k.info ~dims:k.dims ~threads
+      Advisor.rank_all ~cache ~pool ~filter:legal k.machine k.info ~dims:k.dims
+        ~threads
     in
+    let full_size =
+      List.length
+        (Advisor.space k.machine ~dims:k.dims ~threads
+           ~rank:k.spec.Stencil.Spec.rank)
+    in
+    let pruned = full_size - List.length ranked in
     let tbl =
       Yasksite_util.Table.create
         ~title:(Printf.sprintf "Analytic ranking (top %d of %d)" top
@@ -407,10 +446,14 @@ let tune_cmd =
               Yasksite_util.Table.cell_f (p.Model.lups_chip /. 1e9) ])
       ranked;
     Yasksite_util.Table.print tbl;
+    if pruned > 0 then
+      Printf.printf
+        "schedule analyzer: pruned %d of %d candidates before ranking\n"
+        pruned full_size;
     (match ranked with
     | (best, _) :: _ ->
         print_newline ();
-        print_string (report k ~config:best)
+        print_string (report ~sanitize k ~config:best)
     | [] -> ());
     if empirical || fault_rate > 0.0 || noise > 0.0 || resume <> None then begin
       let faults =
@@ -424,10 +467,13 @@ let tune_cmd =
       in
       let r =
         Tuner.tune_empirical ~faults ~policy ?checkpoint:resume ~pool ~cache
-          k.machine k.spec ~dims:k.dims ~threads
+          ~sanitize k.machine k.spec ~dims:k.dims ~threads
       in
       Printf.printf "\nresilient empirical sweep (%s, %d domains):\n"
         (Faults.Plan.describe faults) (Pool.size pool);
+      if r.Tuner.pruned > 0 then
+        Printf.printf "  pruned      %d statically illegal candidate(s)\n"
+          r.Tuner.pruned;
       Printf.printf "  chosen      %s%s\n"
         (Config.describe r.Tuner.chosen)
         (if r.Tuner.degraded then "  [degraded: analytic fallback]" else "");
@@ -462,7 +508,8 @@ let tune_cmd =
     Term.(
       const run $ machine_arg $ scale_arg $ stencil_arg $ expr_arg $ dims_arg
       $ threads_arg $ top $ empirical_arg $ fault_seed_arg $ fault_rate_arg
-      $ noise_arg $ retries_arg $ budget_arg $ resume_arg $ domains_arg)
+      $ noise_arg $ retries_arg $ budget_arg $ resume_arg $ domains_arg
+      $ sanitize_arg)
 
 let scheme_name = function
   | `Unfused -> "unfused"
@@ -577,8 +624,26 @@ let lint_cmd =
     let doc = "Only set the exit status; print nothing." in
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
   in
-  let run machine dims rank rules quiet threads block fold wavefront nt
-      inputs =
+  let schedule_arg =
+    let doc =
+      "Also run the schedule-legality analyzer (YS4xx) on each kernel \
+       input: the configuration built from the tuning flags is judged \
+       against the kernel's dependence distances at --dims."
+    in
+    Arg.(value & flag & info [ "schedule" ] ~doc)
+  in
+  let format_arg =
+    let doc =
+      "Output format: $(b,text) (compiler-style, default) or $(b,json) \
+       (one stable machine-readable report for the whole run)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let run machine dims rank rules quiet schedule format threads block fold
+      wavefront nt stagger inputs =
     protect @@ fun () ->
     if rules then begin
       List.iter
@@ -592,32 +657,54 @@ let lint_cmd =
     let dims = or_die (dims_of_string dims) in
     let rank = match rank with Some r -> r | None -> Array.length dims in
     let worst = ref 0 in
+    (* JSON mode accumulates every finding and emits one report at the
+       end; text mode prints per input as before. *)
+    let collected = ref [] in
     let report ?src ~origin diagnostics =
       worst := max !worst (Lint.exit_code diagnostics);
-      if not quiet then
-        if diagnostics = [] then Printf.printf "%s: clean\n" origin
-        else begin
-          print_string (Lint.Diagnostic.render_list ?src ~origin diagnostics);
-          Printf.printf "%s: %s\n" origin
-            (Lint.Diagnostic.summary diagnostics)
-        end
+      match format with
+      | `Json ->
+          List.iter
+            (fun d -> collected := (origin, src, d) :: !collected)
+            diagnostics
+      | `Text ->
+          if not quiet then
+            if diagnostics = [] then Printf.printf "%s: clean\n" origin
+            else begin
+              print_string
+                (Lint.Diagnostic.render_list ?src ~origin diagnostics);
+              Printf.printf "%s: %s\n" origin
+                (Lint.Diagnostic.summary diagnostics)
+            end
     in
     (* When tuning flags are given, also lint the resulting configuration
        against each kernel input; the machine is only resolved then. *)
     let config_given =
       block <> None || fold <> None || wavefront <> 1 || threads <> 1 || nt
+      || stagger <> None
     in
     let lint_config spec ~origin =
       if config_given then begin
         let m = or_die (machine_of_string ~scale:1 machine) in
         let config =
           or_die
-            (build_config ~block ~fold ~wavefront ~threads
-               ~streaming_stores:nt)
+            (build_config ?stagger ~block ~fold ~wavefront ~threads
+               ~streaming_stores:nt ())
         in
         report
           ~origin:(origin ^ " (config)")
           (Lint.Config.config m (Stencil.Analysis.of_spec spec) ~dims config)
+      end;
+      if schedule then begin
+        let config =
+          or_die
+            (build_config ?stagger ~block ~fold ~wavefront ~threads
+               ~streaming_stores:nt ())
+        in
+        report
+          ~origin:(origin ^ " (schedule)")
+          (Lint.Schedule.schedule (Stencil.Analysis.of_spec spec) ~dims
+             config)
       end
     in
     let lint_kernel_source ?src_origin ~origin src =
@@ -660,6 +747,10 @@ let lint_cmd =
              "nothing to lint (pass expressions, files or stencil names, or \
               --rules)"));
     List.iter lint_one inputs;
+    (match format with
+    | `Json when not quiet ->
+        print_endline (Lint.Diagnostic.report_to_json (List.rev !collected))
+    | _ -> ());
     exit !worst
   in
   Cmd.v
@@ -668,8 +759,8 @@ let lint_cmd =
              before any model run (exit 1 on errors)")
     Term.(
       const run $ machine_arg $ dims_arg $ rank_arg $ rules_arg $ quiet_arg
-      $ threads_arg $ block_arg $ fold_arg $ wavefront_arg $ nt_arg
-      $ inputs_arg)
+      $ schedule_arg $ format_arg $ threads_arg $ block_arg $ fold_arg
+      $ wavefront_arg $ nt_arg $ stagger_arg $ inputs_arg)
 
 let methods_cmd =
   let pde_arg =

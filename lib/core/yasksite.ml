@@ -27,6 +27,7 @@ module Engine = struct
   module Sweep = Yasksite_engine.Sweep
   module Wavefront = Yasksite_engine.Wavefront
   module Measure = Yasksite_engine.Measure
+  module Sanitizer = Yasksite_engine.Sanitizer
 end
 
 module Tuner = Yasksite_tuner.Tuner
@@ -74,14 +75,18 @@ let kernel ~machine ~dims spec =
 
 let predict k ~config = Model.predict k.machine k.info ~dims:k.dims ~config
 
-let measure k ~config =
-  Yasksite_engine.Measure.stencil_sweep k.machine k.spec ~dims:k.dims ~config
+let measure ?(sanitize = false) k ~config =
+  Yasksite_engine.Measure.stencil_sweep ~sanitize k.machine k.spec ~dims:k.dims
+    ~config
 
-let autotune k ~threads = Advisor.best k.machine k.info ~dims:k.dims ~threads
+let autotune k ~threads =
+  Advisor.best
+    ~filter:(Lint.Schedule.legal k.info ~dims:k.dims)
+    k.machine k.info ~dims:k.dims ~threads
 
-let report k ~config =
+let report ?(sanitize = false) k ~config =
   let p = predict k ~config in
-  let m = measure k ~config in
+  let m = measure ~sanitize k ~config in
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf "kernel %s on %s, grid %s, %s\n"

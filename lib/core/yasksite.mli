@@ -60,6 +60,10 @@ module Engine : sig
   module Sweep = Yasksite_engine.Sweep
   module Wavefront = Yasksite_engine.Wavefront
   module Measure = Yasksite_engine.Measure
+
+  module Sanitizer = Yasksite_engine.Sanitizer
+  (** Shadow-memory sweep sanitizer (YS45x traps): the dynamic
+      counterpart of the {!Lint.Schedule} analyzer. *)
 end
 
 module Tuner = Yasksite_tuner.Tuner
@@ -102,15 +106,21 @@ val kernel :
 val predict : kernel -> config:Config.t -> Model.prediction
 (** Evaluate the ECM model: no code runs. *)
 
-val measure : kernel -> config:Config.t -> Yasksite_engine.Measure.t
-(** Execute on the simulated machine and report observed performance. *)
+val measure :
+  ?sanitize:bool -> kernel -> config:Config.t -> Yasksite_engine.Measure.t
+(** Execute on the simulated machine and report observed performance.
+    [sanitize] (default [false]) runs every access through the
+    shadow-memory {!Engine.Sanitizer}; an illegal schedule raises
+    {!Engine.Sanitizer.Trap} instead of measuring garbage. *)
 
 val autotune : kernel -> threads:int -> Config.t * Model.prediction
 (** Analytically select the best configuration (the YaskSite pitch:
-    model-driven, zero kernel runs). *)
+    model-driven, zero kernel runs). Candidates the schedule-legality
+    analyzer ({!Lint.Schedule}) rejects are pruned before ranking. *)
 
-val report : kernel -> config:Config.t -> string
+val report : ?sanitize:bool -> kernel -> config:Config.t -> string
 (** Human-readable comparison of prediction and measurement for one
-    configuration, including the ECM decomposition and traffic. *)
+    configuration, including the ECM decomposition and traffic.
+    [sanitize] as in {!measure}. *)
 
 val version : string

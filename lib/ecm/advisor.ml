@@ -79,8 +79,7 @@ let space m ~dims ~threads ~rank =
         folds)
     blocks
 
-let rank_all ?cache ?pool m (a : Analysis.t) ~dims ~threads =
-  let configs = space m ~dims ~threads ~rank:a.spec.rank in
+let rank_space ?cache ?pool m (a : Analysis.t) ~dims configs =
   let predict c =
     match cache with
     | Some cache -> Cache.predict cache m a ~dims ~config:c
@@ -100,7 +99,18 @@ let rank_all ?cache ?pool m (a : Analysis.t) ~dims ~threads =
       compare p2.Model.lups_chip p1.Model.lups_chip)
     scored
 
-let best ?cache ?pool m a ~dims ~threads =
-  match rank_all ?cache ?pool m a ~dims ~threads with
+(* [filter] is the schedule-legality hook: the lint library sits above
+   this one, so callers (tuner, CLI, Offsite) inject the predicate —
+   typically [Schedule_lint.legal] — and illegal candidates are pruned
+   before any model evaluation is spent on them. *)
+let rank_all ?cache ?pool ?filter m (a : Analysis.t) ~dims ~threads =
+  let configs = space m ~dims ~threads ~rank:a.spec.rank in
+  let configs =
+    match filter with None -> configs | Some f -> List.filter f configs
+  in
+  rank_space ?cache ?pool m a ~dims configs
+
+let best ?cache ?pool ?filter m a ~dims ~threads =
+  match rank_all ?cache ?pool ?filter m a ~dims ~threads with
   | [] -> invalid_arg "Advisor.best: empty space"
   | (c, p) :: _ -> (c, p)

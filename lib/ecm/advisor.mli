@@ -26,6 +26,7 @@ val space :
 val best :
   ?cache:Cache.t ->
   ?pool:Yasksite_util.Pool.t ->
+  ?filter:(Config.t -> bool) ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Analysis.t ->
   dims:int array ->
@@ -38,6 +39,7 @@ val best :
 val rank_all :
   ?cache:Cache.t ->
   ?pool:Yasksite_util.Pool.t ->
+  ?filter:(Config.t -> bool) ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Analysis.t ->
   dims:int array ->
@@ -46,4 +48,20 @@ val rank_all :
 (** Every configuration with its prediction, best first. Model
     evaluations go through [cache] when given (memoized across calls)
     and are spread over [pool]'s domains when given; both leave the
-    result exactly equal to the sequential, uncached ranking. *)
+    result exactly equal to the sequential, uncached ranking.
+
+    [filter] is applied to the enumerated space {e before} any model
+    evaluation — the schedule-legality hook. The lint layer sits above
+    this library, so callers inject the predicate (typically
+    [Lint.Schedule.legal]); candidates it rejects are never scored. *)
+
+val rank_space :
+  ?cache:Cache.t ->
+  ?pool:Yasksite_util.Pool.t ->
+  Yasksite_arch.Machine.t ->
+  Yasksite_stencil.Analysis.t ->
+  dims:int array ->
+  Config.t list ->
+  (Config.t * Model.prediction) list
+(** {!rank_all} over an explicit candidate list (e.g. one already pruned
+    by the schedule analyzer). *)

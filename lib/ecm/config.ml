@@ -2,16 +2,17 @@ type t = {
   block : int array option;
   fold : int array option;
   wavefront : int;
+  wavefront_stagger : int option;
   threads : int;
   streaming_stores : bool;
 }
 
 let default =
-  { block = None; fold = None; wavefront = 1; threads = 1;
-    streaming_stores = false }
+  { block = None; fold = None; wavefront = 1; wavefront_stagger = None;
+    threads = 1; streaming_stores = false }
 
-let v ?block ?fold ?(wavefront = 1) ?(threads = 1) ?(streaming_stores = false)
-    () =
+let v ?block ?fold ?(wavefront = 1) ?wavefront_stagger ?(threads = 1)
+    ?(streaming_stores = false) () =
   (match block with
   | None -> ()
   | Some b ->
@@ -25,8 +26,11 @@ let v ?block ?fold ?(wavefront = 1) ?(threads = 1) ?(streaming_stores = false)
         (fun x -> if x <= 0 then invalid_arg "Config.v: non-positive fold")
         f);
   if wavefront < 1 then invalid_arg "Config.v: wavefront must be >= 1";
+  (match wavefront_stagger with
+  | Some s when s < 1 -> invalid_arg "Config.v: wavefront stagger must be >= 1"
+  | _ -> ());
   if threads < 1 then invalid_arg "Config.v: threads must be >= 1";
-  { block; fold; wavefront; threads; streaming_stores }
+  { block; fold; wavefront; wavefront_stagger; threads; streaming_stores }
 
 let fold_extents t ~rank =
   match t.fold with
@@ -61,9 +65,16 @@ let dims_str a =
 let describe t =
   let block = match t.block with None -> "none" | Some b -> dims_str b in
   let fold = match t.fold with None -> "linear" | Some f -> dims_str f in
-  Printf.sprintf "b=%s f=%s wf=%d t=%d%s" block fold t.wavefront t.threads
+  let stagger =
+    match t.wavefront_stagger with
+    | None -> ""
+    | Some s -> Printf.sprintf " st=%d" s
+  in
+  Printf.sprintf "b=%s f=%s wf=%d%s t=%d%s" block fold t.wavefront stagger
+    t.threads
     (if t.streaming_stores then " nt" else "")
 
 let equal a b =
   a.block = b.block && a.fold = b.fold && a.wavefront = b.wavefront
-  && a.threads = b.threads && a.streaming_stores = b.streaming_stores
+  && a.wavefront_stagger = b.wavefront_stagger && a.threads = b.threads
+  && a.streaming_stores = b.streaming_stores

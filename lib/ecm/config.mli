@@ -12,6 +12,13 @@ type t = {
       (** vector-fold extents per dimension ([None] = linear layout);
           the product should equal the SIMD width in doubles *)
   wavefront : int;  (** temporal block depth; 1 = no temporal blocking *)
+  wavefront_stagger : int option;
+      (** per-step plane shift of the temporal wavefront ([None] = the
+          engine's safe default, radius+1 along the streamed dimension).
+          Any other value is a *candidate* the schedule-legality analyzer
+          must prove or refute: a stagger below radius+1 lets a step read
+          planes already overwritten (or still being written) by the
+          previous time level *)
   threads : int;  (** active cores *)
   streaming_stores : bool;
       (** write the output with non-temporal stores, bypassing the cache
@@ -23,10 +30,12 @@ val default : t
 (** Unblocked, linear layout, no temporal blocking, one thread. *)
 
 val v :
-  ?block:int array -> ?fold:int array -> ?wavefront:int -> ?threads:int ->
-  ?streaming_stores:bool -> unit -> t
+  ?block:int array -> ?fold:int array -> ?wavefront:int ->
+  ?wavefront_stagger:int -> ?threads:int -> ?streaming_stores:bool -> unit ->
+  t
 (** Constructor with validation: positive extents, [wavefront >= 1],
-    [threads >= 1]. Streaming stores default to off. *)
+    [wavefront_stagger >= 1] when given, [threads >= 1]. Streaming stores
+    default to off. *)
 
 val block_extents : t -> dims:int array -> int array
 (** Effective block extents clamped to the grid: unblocked dimensions get

@@ -65,36 +65,52 @@ let make_grids spec ~space ~dims ~config ~rng =
 
 (* Execute warm-up plus a measured pass; return work stats and the number
    of measured lattice updates. *)
-let execute spec ~inputs ~output ~config ~vec_unit ~trace =
+let execute spec ~inputs ~output ~config ~vec_unit ~trace ~sanitize =
   let wf = config.Config.wavefront in
   if wf > 1 then begin
     let a = inputs.(0) and b = output in
     (* Warm-up pass. *)
     let final, _ =
-      Wavefront.steps ~trace ~config ~vec_unit spec ~a ~b ~steps:wf
+      Wavefront.steps ~trace ?sanitize ~config ~vec_unit spec ~a ~b ~steps:wf
     in
     Hierarchy.reset_counters trace;
     let a', b' = if final == a then (a, b) else (b, a) in
     let _, stats =
-      Wavefront.steps ~trace ~config ~vec_unit spec ~a:a' ~b:b' ~steps:wf
+      Wavefront.steps ~trace ?sanitize ~config ~vec_unit spec ~a:a' ~b:b'
+        ~steps:wf
     in
     stats
   end
   else begin
     (* Warm-up sweep, then a measured ping-pong pass (two sweeps). *)
     let swap_input = Array.copy inputs in
-    let _ = Sweep.run ~trace ~config ~vec_unit spec ~inputs ~output in
+    let _ = Sweep.run ~trace ?sanitize ~config ~vec_unit spec ~inputs ~output in
     Hierarchy.reset_counters trace;
     swap_input.(0) <- output;
     let s1 =
-      Sweep.run ~trace ~config ~vec_unit spec ~inputs:swap_input
+      Sweep.run ~trace ?sanitize ~config ~vec_unit spec ~inputs:swap_input
         ~output:inputs.(0)
     in
-    let s2 = Sweep.run ~trace ~config ~vec_unit spec ~inputs ~output in
+    let s2 =
+      Sweep.run ~trace ?sanitize ~config ~vec_unit spec ~inputs ~output
+    in
     Sweep.add_stats s1 s2
   end
 
-let stencil_sweep ?(clock = Clock.system) (m : Machine.t) spec ~dims ~config =
+(* CI hook, mirroring Pool's YASKSITE_DOMAINS: setting YASKSITE_SANITIZE
+   to anything but "" or "0" turns the sanitizer on for every
+   measurement that does not choose explicitly, so the whole test suite
+   can run shadow-checked without threading a flag through. *)
+let sanitize_default () =
+  match Sys.getenv_opt "YASKSITE_SANITIZE" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let stencil_sweep ?(clock = Clock.system) ?sanitize (m : Machine.t)
+    spec ~dims ~config =
+  let sanitize =
+    match sanitize with Some s -> s | None -> sanitize_default ()
+  in
   let t0 = Clock.now clock in
   let rank = spec.Spec.rank in
   if Array.length dims <> rank then
@@ -120,7 +136,14 @@ let stencil_sweep ?(clock = Clock.system) (m : Machine.t) spec ~dims ~config =
         u.(rank - 1) <- lanes;
         u
   in
-  let stats = execute spec ~inputs ~output ~config ~vec_unit ~trace in
+  (* One sanitizer per measurement: each call's private address space
+     reuses the same virtual base addresses, so shadow state must not
+     outlive the grids it describes. Fail-fast — a trap is a legality
+     bug and aborts the measurement loudly. *)
+  let sanitizer = if sanitize then Some (Sanitizer.create ()) else None in
+  let stats =
+    execute spec ~inputs ~output ~config ~vec_unit ~trace ~sanitize:sanitizer
+  in
   let points = stats.Sweep.points in
   let lups_per_cl = float_of_int (Incore.lups_per_cl m) in
   let cls = float_of_int points /. lups_per_cl in

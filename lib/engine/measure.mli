@@ -34,6 +34,7 @@ type t = {
 
 val stencil_sweep :
   ?clock:Yasksite_util.Clock.t ->
+  ?sanitize:bool ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Spec.t ->
   dims:int array ->
@@ -44,7 +45,15 @@ val stencil_sweep :
     the grids in the configured layout, runs a warm-up pass, then
     measures one ping-pong pass (or one wavefront pass of the configured
     depth). Only the representative core's slice is simulated, so the
-    cost is independent of the thread count. *)
+    cost is independent of the thread count.
+
+    [sanitize] threads every access of the run through a fresh
+    fail-fast shadow-memory {!Sanitizer}: a legal schedule measures
+    identically (the shadow pass never changes values), an illegal one
+    raises {!Sanitizer.Trap} instead of silently measuring garbage.
+    When omitted, the default is taken from the [YASKSITE_SANITIZE]
+    environment variable (unset, [""] or ["0"] mean off), so CI can run
+    an entire suite shadow-checked. *)
 
 val lups_at_threads :
   ?clock:Yasksite_util.Clock.t ->

@@ -6,6 +6,9 @@ module Compile = Yasksite_stencil.Compile
 module Expr = Yasksite_stencil.Expr
 module Config = Yasksite_ecm.Config
 module Pool = Yasksite_util.Pool
+module Lint = Yasksite_lint.Lint
+module Schedule_lint = Yasksite_lint.Schedule_lint
+module D = Yasksite_lint.Diagnostic
 
 type stats = { points : int; vec_units : int; rows : int; blocks : int }
 
@@ -25,15 +28,35 @@ let units_of_box extents fold =
   Array.iteri (fun i e -> acc := !acc * ceil_div e fold.(i)) extents;
   !acc
 
+let dims_str a =
+  String.concat "x" (Array.to_list (Array.map string_of_int a))
+
+(* Precondition failures surface as lint diagnostics through
+   [Lint.Gate_error] (not bare [Invalid_argument]) so the CLI maps them
+   to exit 1 consistently with every other gate. *)
 let check_region ~dims ~lo ~hi =
   let rank = Array.length dims in
-  if Array.length lo <> rank || Array.length hi <> rank then
-    invalid_arg "Sweep: region rank mismatch";
-  Array.iteri
-    (fun i d ->
-      if lo.(i) < 0 || hi.(i) > d || lo.(i) > hi.(i) then
-        invalid_arg "Sweep: region out of bounds")
-    dims
+  let ds =
+    if Array.length lo <> rank || Array.length hi <> rank then
+      [ D.errorf ~code:"YS409"
+          "region rank %d does not match the iteration space %s"
+          (Array.length lo) (dims_str dims) ]
+    else begin
+      let bad = ref [] in
+      Array.iteri
+        (fun i d ->
+          if lo.(i) < 0 || hi.(i) > d || lo.(i) > hi.(i) then
+            bad :=
+              D.errorf ~code:"YS406"
+                "region [%s..%s) leaves the iteration space %s in \
+                 dimension %d"
+                (dims_str lo) (dims_str hi) (dims_str dims) i
+              :: !bad)
+        dims;
+      List.rev !bad
+    end
+  in
+  Lint.gate ~context:"Sweep.run_region" ds
 
 (* The per-point update closure: trace reads, evaluate, trace + perform
    the write. Building it once keeps the hot loops free of dispatch. *)
@@ -122,14 +145,82 @@ let make_update3 spec ~inputs ~(output : Grid.t) ~trace ~nt =
         store ~addr:(obase + (8 * o));
         Grid.unsafe_set_flat output o v
 
-let run_region ?trace ?(config = Config.default) ?vec_unit spec ~inputs ~output
-    ~lo ~hi =
+(* Shadow-check wrappers around the per-point closures: every read of
+   the stencil's access set and the output write are validated against
+   the sanitizer pass before the real update executes (an out-of-bounds
+   trap therefore fires before the engine's unchecked access would). *)
+
+let sanitize_update1 sl spec ~inputs update =
+  let info = Analysis.of_spec spec in
+  let readers =
+    Array.of_list
+      (List.map
+         (fun (a : Expr.access) ->
+           let chk = Sanitizer.reader sl inputs.(a.field) in
+           let d0 = a.offsets.(0) in
+           fun x -> chk [| x + d0 |])
+         info.accesses)
+  in
+  let write = Sanitizer.writer sl in
+  fun x ->
+    Array.iter (fun r -> r x) readers;
+    write [| x |];
+    update x
+
+let sanitize_update2 sl spec ~inputs update =
+  let info = Analysis.of_spec spec in
+  let readers =
+    Array.of_list
+      (List.map
+         (fun (a : Expr.access) ->
+           let chk = Sanitizer.reader sl inputs.(a.field) in
+           let d0 = a.offsets.(0) and d1 = a.offsets.(1) in
+           fun y x -> chk [| y + d0; x + d1 |])
+         info.accesses)
+  in
+  let write = Sanitizer.writer sl in
+  fun y x ->
+    Array.iter (fun r -> r y x) readers;
+    write [| y; x |];
+    update y x
+
+let sanitize_update3 sl spec ~inputs update =
+  let info = Analysis.of_spec spec in
+  let readers =
+    Array.of_list
+      (List.map
+         (fun (a : Expr.access) ->
+           let chk = Sanitizer.reader sl inputs.(a.field) in
+           let d0 = a.offsets.(0)
+           and d1 = a.offsets.(1)
+           and d2 = a.offsets.(2) in
+           fun z y x -> chk [| z + d0; y + d1; x + d2 |])
+         info.accesses)
+  in
+  let write = Sanitizer.writer sl in
+  fun z y x ->
+    Array.iter (fun r -> r z y x) readers;
+    write [| z; y; x |];
+    update z y x
+
+let run_region ?trace ?sanitize ?(check = true) ?(config = Config.default)
+    ?vec_unit spec ~inputs ~output ~lo ~hi =
   let dims = Grid.dims output in
-  Array.iter
-    (fun g ->
-      if Grid.dims g <> dims then invalid_arg "Sweep: input dims mismatch")
-    inputs;
-  check_region ~dims ~lo ~hi;
+  if check then begin
+    let ds = ref [] in
+    Array.iteri
+      (fun i g ->
+        if Grid.dims g <> dims then
+          ds :=
+            D.errorf ~code:"YS409" "input field %d is %s but the output is %s"
+              i
+              (dims_str (Grid.dims g))
+              (dims_str dims)
+            :: !ds)
+      inputs;
+    Lint.gate ~context:"Sweep.run_region" (List.rev !ds);
+    check_region ~dims ~lo ~hi
+  end;
   let rank = Array.length dims in
   let fold =
     match vec_unit with
@@ -144,6 +235,11 @@ let run_region ?trace ?(config = Config.default) ?vec_unit spec ~inputs ~output
   (match rank with
   | 1 ->
       let update = make_update1 spec ~inputs ~output ~trace ~nt in
+      let update =
+        match sanitize with
+        | None -> update
+        | Some sl -> sanitize_update1 sl spec ~inputs update
+      in
       let bx = block.(0) in
       let xb = ref lo.(0) in
       while !xb < hi.(0) do
@@ -160,6 +256,11 @@ let run_region ?trace ?(config = Config.default) ?vec_unit spec ~inputs ~output
   | 2 ->
       (* Block x (dim 1), stream y (dim 0) inside each block. *)
       let update = make_update2 spec ~inputs ~output ~trace ~nt in
+      let update =
+        match sanitize with
+        | None -> update
+        | Some sl -> sanitize_update2 sl spec ~inputs update
+      in
       let bx = block.(1) in
       let xb = ref lo.(1) in
       while !xb < hi.(1) do
@@ -180,6 +281,11 @@ let run_region ?trace ?(config = Config.default) ?vec_unit spec ~inputs ~output
       (* Block y and x (dims 1, 2), stream z (dim 0) inside each block
          column. *)
       let update = make_update3 spec ~inputs ~output ~trace ~nt in
+      let update =
+        match sanitize with
+        | None -> update
+        | Some sl -> sanitize_update3 sl spec ~inputs update
+      in
       let by = block.(1) and bx = block.(2) in
       let yb = ref lo.(1) in
       while !yb < hi.(1) do
@@ -205,10 +311,12 @@ let run_region ?trace ?(config = Config.default) ?vec_unit spec ~inputs ~output
       done);
   { points = !points; vec_units = !vec_units; rows = !rows; blocks = !blocks }
 
-let run_sequential ?trace ?config ?vec_unit spec ~inputs ~output =
+let run_sequential ?trace ?sanitize ?check ?config ?vec_unit spec ~inputs
+    ~output =
   let dims = Grid.dims output in
   let lo = Array.map (fun _ -> 0) dims in
-  run_region ?trace ?config ?vec_unit spec ~inputs ~output ~lo ~hi:dims
+  run_region ?trace ?sanitize ?check ?config ?vec_unit spec ~inputs ~output
+    ~lo ~hi:dims
 
 (* Domain-parallel sweep. The interior is split along the blocked
    dimension (dim 0 for rank 1, dim 1 — x or y — otherwise) at block
@@ -219,20 +327,42 @@ let run_sequential ?trace ?config ?vec_unit spec ~inputs ~output =
    single block column and run sequentially — spatial blocking is what
    creates the parallelism, exactly as it creates the per-thread
    partition on the modelled machine. *)
-let run ?pool ?trace ?config ?vec_unit spec ~inputs ~output =
-  match pool with
-  | None -> run_sequential ?trace ?config ?vec_unit spec ~inputs ~output
-  | Some pool ->
+let run ?pool ?trace ?sanitize ?(check = true) ?config ?vec_unit spec ~inputs
+    ~output =
+  let cfg = match config with Some c -> c | None -> Config.default in
+  (* The schedule-legality gate: halo sufficiency, aliasing, layout and
+     extent agreement are decided *before* the sweep touches memory.
+     [check:false] bypasses it (the sanitizer's adversarial mode). *)
+  if check then
+    Lint.gate ~context:"Sweep.run"
+      (Schedule_lint.grids (Analysis.of_spec spec) cfg ~inputs ~output);
+  let pass =
+    match sanitize with
+    | None -> None
+    | Some san ->
+        Array.iter (fun g -> Sanitizer.register san g) inputs;
+        Sanitizer.register san output;
+        Sanitizer.check_fold san ~fold:cfg.Config.fold output;
+        Array.iter (Sanitizer.check_fold san ~fold:cfg.Config.fold) inputs;
+        Some (Sanitizer.begin_sweep san ~inputs ~output)
+  in
+  let slice_of s = Option.map (fun p -> Sanitizer.slice p s) pass in
+  let stats =
+    match pool with
+    | None ->
+        run_sequential ?trace ?sanitize:(slice_of 0) ~check:false ?config
+          ?vec_unit spec ~inputs ~output
+    | Some pool ->
       let dims = Grid.dims output in
       let rank = Array.length dims in
-      let cfg = match config with Some c -> c | None -> Config.default in
       let block = Config.block_extents cfg ~dims in
       let pd = if rank = 1 then 0 else 1 in
       let bsize = block.(pd) in
       let nblocks = ceil_div dims.(pd) bsize in
       let nslices = min (Pool.size pool) nblocks in
       if nslices < 2 then
-        run_sequential ?trace ?config ?vec_unit spec ~inputs ~output
+        run_sequential ?trace ?sanitize:(slice_of 0) ~check:false ?config
+          ?vec_unit spec ~inputs ~output
       else begin
         let bounds s =
           (* Slice [s] owns block columns [nblocks*s/nslices,
@@ -249,7 +379,8 @@ let run ?pool ?trace ?config ?vec_unit spec ~inputs ~output =
             Pool.parallel_for ~chunk:1 pool ~n:nslices (fun s ->
                 let lo, hi = bounds s in
                 out.(s) <-
-                  run_region ?config ?vec_unit spec ~inputs ~output ~lo ~hi)
+                  run_region ?sanitize:(slice_of s) ~check:false ?config
+                    ?vec_unit spec ~inputs ~output ~lo ~hi)
         | Some h ->
             (* Each slice simulates against a private clone of the shared
                hierarchy's current state, counting only its own events;
@@ -266,9 +397,13 @@ let run ?pool ?trace ?config ?vec_unit spec ~inputs ~output =
             Pool.parallel_for ~chunk:1 pool ~n:nslices (fun s ->
                 let lo, hi = bounds s in
                 out.(s) <-
-                  run_region ~trace:clones.(s) ?config ?vec_unit spec ~inputs
-                    ~output ~lo ~hi);
+                  run_region ~trace:clones.(s) ?sanitize:(slice_of s)
+                    ~check:false ?config ?vec_unit spec ~inputs ~output ~lo
+                    ~hi);
             Array.iter (fun c -> Hierarchy.merge_counters ~into:h c) clones;
             Hierarchy.adopt_contents ~into:h clones.(nslices - 1));
         Array.fold_left add_stats zero_stats out
       end
+  in
+  (match pass with Some p -> Sanitizer.end_sweep p | None -> ());
+  stats

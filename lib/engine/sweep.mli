@@ -25,6 +25,8 @@ val add_stats : stats -> stats -> stats
 val run :
   ?pool:Yasksite_util.Pool.t ->
   ?trace:Yasksite_cachesim.Hierarchy.t ->
+  ?sanitize:Sanitizer.t ->
+  ?check:bool ->
   ?config:Yasksite_ecm.Config.t ->
   ?vec_unit:int array ->
   Yasksite_stencil.Spec.t ->
@@ -53,10 +55,20 @@ val run :
     output, can differ from the sequential trace because slices don't
     see each other's cache state. Unblocked configs have one block
     column and run sequentially: spatial blocking is what creates the
-    parallelism. *)
+    parallelism.
+
+    [check] (default [true]) runs the schedule-legality gate
+    ({!Yasksite_lint.Schedule_lint.grids}: halo sufficiency, aliasing,
+    layout and extent agreement) before touching memory, raising
+    [Lint.Gate_error] on violations. [sanitize] threads every access
+    through a shadow-memory {!Sanitizer} pass — pass [~check:false]
+    with a sanitizer to demonstrate dynamically why a gated schedule is
+    illegal. *)
 
 val run_region :
   ?trace:Yasksite_cachesim.Hierarchy.t ->
+  ?sanitize:Sanitizer.slice ->
+  ?check:bool ->
   ?config:Yasksite_ecm.Config.t ->
   ?vec_unit:int array ->
   Yasksite_stencil.Spec.t ->
@@ -67,4 +79,7 @@ val run_region :
   stats
 (** Like {!run} but restricted to the half-open interior box
     [\[lo, hi)] — the building block for thread partitions and
-    wavefronts. *)
+    wavefronts. [check] (default [true]) verifies the region stays
+    inside the iteration space and the extents agree, raising
+    [Lint.Gate_error] (YS406/YS409) otherwise; [sanitize] is one
+    slice's view of an enclosing sanitizer pass. *)

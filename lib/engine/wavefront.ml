@@ -2,46 +2,97 @@ module Grid = Yasksite_grid.Grid
 module Spec = Yasksite_stencil.Spec
 module Analysis = Yasksite_stencil.Analysis
 module Config = Yasksite_ecm.Config
+module Lint = Yasksite_lint.Lint
+module Schedule_lint = Yasksite_lint.Schedule_lint
+module D = Yasksite_lint.Diagnostic
 
-let steps ?trace ?(config = Config.default) ?vec_unit ?lo ?hi
-    (spec : Spec.t) ~a ~b ~steps =
-  if spec.n_fields <> 1 then
-    invalid_arg "Wavefront.steps: single-field stencils only";
+let steps ?trace ?sanitize ?(check = true) ?(config = Config.default)
+    ?vec_unit ?lo ?hi (spec : Spec.t) ~a ~b ~steps =
   let dims = Grid.dims a in
-  if Grid.dims b <> dims then invalid_arg "Wavefront.steps: dims mismatch";
+  let info = Analysis.of_spec spec in
+  (* Precondition failures surface as YS4xx diagnostics through
+     [Lint.Gate_error]; [check:false] forces the schedule through so the
+     sanitizer can demonstrate the violation dynamically. *)
+  if check then begin
+    let ds =
+      Schedule_lint.wavefront_rules info ~dims config
+      @ Schedule_lint.grids info config ~inputs:[| a |] ~output:b
+      @ Schedule_lint.grids info config ~inputs:[| b |] ~output:a
+    in
+    Lint.gate ~context:"Wavefront.steps" (Schedule_lint.dedup ds)
+  end;
   let rank = Array.length dims in
   let lo = match lo with None -> Array.make rank 0 | Some l -> Array.copy l in
   let hi = match hi with None -> Array.copy dims | Some h -> Array.copy h in
-  if lo.(0) <> 0 || hi.(0) <> dims.(0) then
-    invalid_arg "Wavefront.steps: streamed dimension must stay full";
-  let info = Analysis.of_spec spec in
-  let r0 = info.radius.(0) in
-  let shift = r0 + 1 in
+  if check && (lo.(0) <> 0 || hi.(0) <> dims.(0)) then
+    Lint.gate ~context:"Wavefront.steps"
+      [ D.errorf ~code:"YS406"
+          "the streamed dimension must stay full: fronts travel through \
+           planes [0..%d), got [%d..%d)"
+          dims.(0) lo.(0) hi.(0) ];
+  let shift = Schedule_lint.effective_stagger info config in
   let n0 = dims.(0) in
   let grids = [| a; b |] in
   let stats = ref Sweep.zero_stats in
   let total = ref 0 in
+  (* The sanitizer's view: the state in [a] is whatever version it
+     currently holds (so repeated wavefront calls compose); step [abs_t]
+     reads version [base + abs_t] and produces [base + abs_t + 1]. *)
+  let base_version =
+    match sanitize with
+    | None -> 0
+    | Some san ->
+        Sanitizer.register san a;
+        Sanitizer.register san b;
+        Sanitizer.check_fold san ~fold:config.Config.fold a;
+        Sanitizer.check_fold san ~fold:config.Config.fold b;
+        Sanitizer.grid_version san a
+  in
   (* Update plane [z] of timestep [t] -> [t+1] (absolute step index
-     [base + t]), ping-ponging between the two grids. *)
-  let update_plane ~abs_t z =
+     [base + t]), ping-ponging between the two grids. [front] is the
+     process-unique id of the current front iteration, tagging writes so
+     later steps of the same front can detect order dependences (an
+     under-staggered schedule reading a plane an earlier step of this
+     very front produced). *)
+  let update_plane ~abs_t ~front z =
     let src = grids.(abs_t mod 2) and dst = grids.((abs_t + 1) mod 2) in
     let plo = Array.copy lo and phi = Array.copy hi in
     plo.(0) <- z;
     phi.(0) <- z + 1;
+    let sanitize =
+      Option.map
+        (fun san ->
+          let pass =
+            Sanitizer.begin_wavefront_step san ~src ~dst
+              ~read_version:(base_version + abs_t) ~front
+          in
+          Sanitizer.slice pass 0)
+        sanitize
+    in
     let s =
-      Sweep.run_region ?trace ~config ?vec_unit spec ~inputs:[| src |]
-        ~output:dst ~lo:plo ~hi:phi
+      Sweep.run_region ?trace ?sanitize ~check ~config ?vec_unit spec
+        ~inputs:[| src |] ~output:dst ~lo:plo ~hi:phi
     in
     stats := Sweep.add_stats !stats s
   in
   while !total < steps do
     let depth = min config.Config.wavefront (steps - !total) in
     for front = 0 to n0 - 1 + ((depth - 1) * shift) do
+      let fid =
+        match sanitize with Some san -> Sanitizer.fresh_front san | None -> 0
+      in
       for t = 0 to depth - 1 do
         let z = front - (t * shift) in
-        if z >= 0 && z < n0 then update_plane ~abs_t:(!total + t) z
+        if z >= 0 && z < n0 then update_plane ~abs_t:(!total + t) ~front:fid z
       done
     done;
     total := !total + depth
   done;
+  (match sanitize with
+  | Some san ->
+      Sanitizer.end_wavefront san
+        ~final:grids.(steps mod 2)
+        ~other:grids.((steps + 1) mod 2)
+        ~final_version:(base_version + steps)
+  | None -> ());
   (grids.(steps mod 2), !stats)

@@ -17,6 +17,8 @@
 
 val steps :
   ?trace:Yasksite_cachesim.Hierarchy.t ->
+  ?sanitize:Sanitizer.t ->
+  ?check:bool ->
   ?config:Yasksite_ecm.Config.t ->
   ?vec_unit:int array ->
   ?lo:int array ->
@@ -34,4 +36,13 @@ val steps :
     dimensions (thread partition); the streamed dimension's range must
     stay full. Both grids must share dims and have halos covering the
     stencil radius; halos of {e both} grids must be pre-filled and are
-    kept static. *)
+    kept static.
+
+    The per-step plane shift is the config's [wavefront_stagger] when
+    set (the engine-safe default is radius+1). [check] (default [true])
+    gates the schedule through {!Yasksite_lint.Schedule_lint} — stagger
+    legality (YS400), single input field (YS401), halo/alias/extent
+    agreement of both grids — raising [Lint.Gate_error] on violations;
+    [sanitize] shadow-checks every access, so an illegal stagger forced
+    through with [~check:false] traps on its first stale or same-front
+    read. *)

@@ -114,3 +114,60 @@ let render ?src ?(origin = "input") d =
 
 let render_list ?src ?origin ds =
   String.concat "" (List.map (render ?src ?origin) (by_severity ds))
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering: a stable machine-readable schema so CI can diff
+   findings across runs. Hand-rolled (no JSON dependency); the escaping
+   covers everything our messages can contain. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let loc_to_json ?src loc =
+  match loc with
+  | No_loc -> {|{"kind":"none"}|}
+  | Field name -> Printf.sprintf {|{"kind":"field","field":"%s"}|} (json_escape name)
+  | Line n -> Printf.sprintf {|{"kind":"line","line":%d}|} n
+  | Span { pos; stop } -> (
+      match src with
+      | None -> Printf.sprintf {|{"kind":"span","pos":%d,"stop":%d}|} pos stop
+      | Some src ->
+          let lineno, col, _ = line_of_pos src pos in
+          Printf.sprintf
+            {|{"kind":"span","pos":%d,"stop":%d,"line":%d,"col":%d}|} pos stop
+            lineno (col + 1))
+
+let to_json ?src ?(origin = "input") d =
+  Printf.sprintf
+    {|{"origin":"%s","code":"%s","severity":"%s","message":"%s","loc":%s}|}
+    (json_escape origin) (json_escape d.code)
+    (severity_label d.severity)
+    (json_escape d.message) (loc_to_json ?src d.loc)
+
+let report_to_json items =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf {|{"version":1,"findings":[|};
+  List.iteri
+    (fun i (origin, src, d) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf ("\n  " ^ to_json ?src ~origin d))
+    items;
+  let ds = List.map (fun (_, _, d) -> d) items in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n],\"summary\":{\"errors\":%d,\"warnings\":%d,\"hints\":%d}}\n"
+       (count Error ds) (count Warning ds) (count Hint ds));
+  Buffer.contents buf

@@ -61,3 +61,16 @@ val render : ?src:string -> ?origin:string -> t -> string
 
 val render_list : ?src:string -> ?origin:string -> t list -> string
 (** Render a batch, ordered {!by_severity}. *)
+
+val to_json : ?src:string -> ?origin:string -> t -> string
+(** One finding as a single-line JSON object with the stable schema
+    [{"origin","code","severity","message","loc"}]. [loc] is a tagged
+    object: [{"kind":"none"}], [{"kind":"field","field":...}],
+    [{"kind":"line","line":...}] or [{"kind":"span","pos","stop"}] —
+    span locations gain 1-based ["line"]/["col"] when [src] is given. *)
+
+val report_to_json : (string * string option * t) list -> string
+(** Render a whole lint run as one JSON document:
+    [{"version":1,"findings":[...],"summary":{"errors","warnings",
+    "hints"}}]. Each item is [(origin, src, diagnostic)] so findings
+    from different inputs can share one report. *)

@@ -2,6 +2,7 @@ module Diagnostic = Diagnostic
 module Kernel = Kernel_lint
 module Machine = Machine_lint
 module Config = Config_lint
+module Schedule = Schedule_lint
 
 let rules =
   [ ("YS100", Diagnostic.Error, "kernel source does not parse");
@@ -33,7 +34,36 @@ let rules =
     ("YS307", Diagnostic.Warning, "more threads than cores");
     ("YS308", Diagnostic.Warning, "fold product differs from SIMD width");
     ("YS309", Diagnostic.Warning, "wavefront window exceeds the last-level \
-                                   cache") ]
+                                   cache");
+    ("YS400", Diagnostic.Error, "wavefront stagger below the dependence \
+                                 distance (forward reach+1)");
+    ("YS401", Diagnostic.Error, "temporal wavefront over a multi-field \
+                                 kernel");
+    ("YS402", Diagnostic.Error, "temporal wavefront over periodic \
+                                 boundaries");
+    ("YS403", Diagnostic.Error, "input aliases the output under a \
+                                 non-pointwise schedule");
+    ("YS404", Diagnostic.Error, "input halo thinner than the stencil \
+                                 radius");
+    ("YS405", Diagnostic.Error, "schedule fold does not match the grid \
+                                 layout");
+    ("YS406", Diagnostic.Error, "parallel slices do not partition the \
+                                 iteration space");
+    ("YS407", Diagnostic.Hint, "fewer block columns than pool domains");
+    ("YS408", Diagnostic.Error, "fold extent exceeds the grid extent");
+    ("YS409", Diagnostic.Error, "rank/extent mismatch between schedule and \
+                                 grids");
+    ("YS450", Diagnostic.Error, "sanitizer: overlapping writes to one cell");
+    ("YS451", Diagnostic.Error, "sanitizer: read races a write of the same \
+                                 pass");
+    ("YS452", Diagnostic.Error, "sanitizer: read of a stale cell version");
+    ("YS453", Diagnostic.Error, "sanitizer: access outside the allocation");
+    ("YS454", Diagnostic.Error, "sanitizer: output cell left unwritten by \
+                                 the sweep");
+    ("YS455", Diagnostic.Error, "sanitizer: read of a stale or \
+                                 uninitialised halo");
+    ("YS456", Diagnostic.Error, "sanitizer: executed layout differs from \
+                                 the scheduled fold") ]
 
 let exit_code = Diagnostic.exit_code
 

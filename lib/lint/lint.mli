@@ -11,6 +11,7 @@ module Diagnostic = Diagnostic
 module Kernel = Kernel_lint
 module Machine = Machine_lint
 module Config = Config_lint
+module Schedule = Schedule_lint
 
 val rules : (string * Diagnostic.severity * string) list
 (** The full rule table (code, default severity, one-line summary) —

@@ -4,6 +4,7 @@ module Expr = Yasksite_stencil.Expr
 module Pde = Yasksite_ode.Pde
 module Sweep = Yasksite_engine.Sweep
 module Lint = Yasksite_lint.Lint
+module Config = Yasksite_ecm.Config
 
 type compiled = {
   kernel : Variant.kernel;
@@ -86,7 +87,22 @@ let create (pde : Pde.t) (variant : Variant.t) =
             List.map (fun f -> k.Variant.inputs.(f)) fields_at_offsets })
       variant.Variant.kernels
   in
-  { pde; variant; state; next_state; others; kernels; steps_done = 0 }
+  let t = { pde; variant; state; next_state; others; kernels; steps_done = 0 } in
+  (* With the buffers materialised, prove every kernel's sweep legal
+     once up front — extents, aliasing, halo width, layout (YS4xx) —
+     so the per-step sweeps can skip re-checking. *)
+  List.iter
+    (fun c ->
+      let info = Analysis.of_spec c.kernel.Variant.spec in
+      let inputs = Array.map (grid_of t) c.kernel.Variant.inputs in
+      let output = grid_of t c.kernel.Variant.output in
+      Lint.gate
+        ~context:
+          (Printf.sprintf "Offsite.Executor.create: kernel %s"
+             c.kernel.Variant.spec.Yasksite_stencil.Spec.name)
+        (Lint.Schedule.grids info Config.default ~inputs ~output))
+    kernels;
+  t
 
 let refresh_halo t buffer =
   (* Dirichlet halos are static (set at creation); only periodic halos
@@ -101,7 +117,10 @@ let step t =
       List.iter (refresh_halo t) c.halo_inputs;
       let inputs = Array.map (grid_of t) c.kernel.Variant.inputs in
       let output = grid_of t c.kernel.Variant.output in
-      ignore (Sweep.run c.kernel.Variant.spec ~inputs ~output : Sweep.stats))
+      (* [create] proved these grids legal once; skip the per-step gate. *)
+      ignore
+        (Sweep.run ~check:false c.kernel.Variant.spec ~inputs ~output
+          : Sweep.stats))
     t.kernels;
   (* The variant writes the advanced state into Next_state; swap. *)
   let s = t.state in

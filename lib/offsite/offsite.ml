@@ -8,6 +8,7 @@ module Measure = Yasksite_engine.Measure
 module Pool = Yasksite_util.Pool
 module Pde = Yasksite_ode.Pde
 module Tableau = Yasksite_ode.Tableau
+module Lint = Yasksite_lint.Lint
 
 type candidate = {
   variant : Variant.t;
@@ -18,7 +19,13 @@ type candidate = {
 }
 
 let best_static_config ?(cache = Cache.shared) ?pool m info ~dims ~threads =
-  let ranked = Advisor.rank_all ~cache ?pool m info ~dims ~threads in
+  (* Prune statically illegal schedules before any model evaluation;
+     the lint layer sits above ecm, so the predicate is injected here. *)
+  let ranked =
+    Advisor.rank_all ~cache ?pool
+      ~filter:(Lint.Schedule.legal info ~dims)
+      m info ~dims ~threads
+  in
   let static =
     List.filter (fun (c, _) -> c.Config.wavefront = 1) ranked
   in

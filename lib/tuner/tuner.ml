@@ -29,22 +29,36 @@ type result = {
   kernel_runs : int;
   attempts : int;
   skipped : skipped list;
+  pruned : int;
   degraded : bool;
   wall_seconds : float;
 }
 
-let tune_analytic ?(cache = Cache.shared) ?pool ?(clock = Clock.system) m spec
-    ~dims ~threads =
+let tune_analytic ?(cache = Cache.shared) ?pool ?(clock = Clock.system)
+    ?(sanitize = false) m spec ~dims ~threads =
   let t0 = Clock.now clock in
   Lint.gate ~context:"Tuner.tune_analytic" (Lint.Kernel.spec spec);
   let info = Analysis.of_spec spec in
-  let ranked = Advisor.rank_all ~cache ?pool m info ~dims ~threads in
+  (* Schedule-legality pruning happens before any model evaluation:
+     illegal candidates are never scored, and their count is reported. *)
+  let full = Advisor.space m ~dims ~threads ~rank:spec.Spec.rank in
+  let ranked =
+    Advisor.rank_all ~cache ?pool
+      ~filter:(Lint.Schedule.legal info ~dims)
+      m info ~dims ~threads
+  in
+  let pruned = List.length full - List.length ranked in
+  if ranked = [] && full <> [] then
+    Lint.gate ~context:"Tuner.tune_analytic"
+      (Lint.Schedule.space info ~dims full);
   let chosen, prediction =
     match ranked with
     | [] -> invalid_arg "Tuner.tune_analytic: empty space"
     | (c, p) :: _ -> (c, p)
   in
-  let meas = Measure.stencil_sweep ~clock m spec ~dims ~config:chosen in
+  let meas =
+    Measure.stencil_sweep ~clock ~sanitize m spec ~dims ~config:chosen
+  in
   { chosen;
     predicted_lups = Some prediction.Model.lups_chip;
     measured_lups = meas.Measure.lups_chip;
@@ -52,6 +66,7 @@ let tune_analytic ?(cache = Cache.shared) ?pool ?(clock = Clock.system) m spec
     kernel_runs = 1;
     attempts = 1;
     skipped = [];
+    pruned;
     degraded = false;
     wall_seconds = Clock.now clock -. t0 }
 
@@ -80,16 +95,16 @@ let checkpoint_key m spec ~dims ~threads ~space ~(faults : Plan.t) =
 let jitter_seed_salt = 0x5DEECE66
 
 let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
-    ?(clock = Clock.system) ?checkpoint ?pool ?(cache = Cache.shared) m spec
-    ~dims ~threads =
+    ?(clock = Clock.system) ?checkpoint ?pool ?(cache = Cache.shared)
+    ?(sanitize = false) m spec ~dims ~threads =
   let t0 = Clock.now clock in
   Lint.gate ~context:"Tuner.tune_empirical" (Lint.Kernel.spec spec);
+  let info = Analysis.of_spec spec in
   (* User-supplied spaces are gated; advisor-generated candidates are the
      model's own business (it ranks bad ones down rather than refusing). *)
   (match space with
   | Some s ->
-      Lint.gate ~context:"Tuner.tune_empirical"
-        (Lint.Config.space m (Analysis.of_spec spec) ~dims s)
+      Lint.gate ~context:"Tuner.tune_empirical" (Lint.Config.space m info ~dims s)
   | None -> ());
   let space =
     match space with
@@ -98,6 +113,15 @@ let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
         let rank = spec.Spec.rank in
         Advisor.space m ~dims ~threads ~rank
   in
+  (* Schedule-legality pruning before any pool execution: candidates the
+     analyzer refutes are never measured. A space with no legal candidate
+     at all gates with the offending YS4xx findings. *)
+  let full_space = space in
+  let space = List.filter (Lint.Schedule.legal info ~dims) full_space in
+  let pruned = List.length full_space - List.length space in
+  if space = [] && full_space <> [] then
+    Lint.gate ~context:"Tuner.tune_empirical"
+      (Lint.Schedule.space info ~dims full_space);
   if space = [] then invalid_arg "Tuner.tune_empirical: empty space";
   (* Virtual time: the injected clock plus every charged backoff delay
      and simulated timeout — budgets see what a real sweep would pay
@@ -160,7 +184,9 @@ let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
           sleep t;
           Error "timeout"
       | Plan.Run factor ->
-          let meas = Measure.stencil_sweep ~clock m spec ~dims ~config in
+          let meas =
+            Measure.stencil_sweep ~clock ~sanitize m spec ~dims ~config
+          in
           Ok (meas.Measure.lups_chip /. factor)
     in
     let samples = ref [] in
@@ -337,6 +363,7 @@ let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
       kernel_runs = !runs;
       attempts = !attempts_total;
       skipped = List.rev !skipped;
+      pruned;
       degraded = false;
       wall_seconds = vnow () -. t0 }
   end
@@ -344,7 +371,6 @@ let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
     (* Graceful degradation: too many candidates died empirically, so
        fall back to the analytic ranking of the same space (the paper's
        point — the model needs no runs at all). *)
-    let info = Analysis.of_spec spec in
     let predict c = (Cache.predict cache m info ~dims ~config:c).Model.lups_chip in
     let lups =
       (* Pure model, so the parallel map equals the sequential one. *)
@@ -372,6 +398,7 @@ let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
       kernel_runs = !runs;
       attempts = !attempts_total;
       skipped = List.rev !skipped;
+      pruned;
       degraded = true;
       wall_seconds = vnow () -. t0 }
   end

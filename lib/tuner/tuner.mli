@@ -43,6 +43,10 @@ type result = {
       (** measurement attempts including retried failures and timeouts *)
   skipped : skipped list;
       (** candidates abandoned after exhausting retries or budgets *)
+  pruned : int;
+      (** candidates removed by the schedule-legality analyzer
+          ({!Yasksite_lint.Lint.Schedule}) before any model evaluation or
+          kernel execution was spent on them *)
   degraded : bool;
       (** the empirical sweep fell back to analytic ranking because the
           failure rate exceeded the policy's threshold *)
@@ -55,6 +59,7 @@ val tune_analytic :
   ?cache:Yasksite_ecm.Cache.t ->
   ?pool:Yasksite_util.Pool.t ->
   ?clock:Yasksite_util.Clock.t ->
+  ?sanitize:bool ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Spec.t ->
   dims:int array ->
@@ -64,7 +69,14 @@ val tune_analytic :
     validation measurement of the winner. Model evaluations are
     memoized in [cache] (default {!Yasksite_ecm.Cache.shared}) and
     spread over [pool]'s domains when given; neither changes the
-    result. *)
+    result.
+
+    Candidates the schedule-legality analyzer rejects are pruned before
+    ranking (reported in [result.pruned]); if the whole space is
+    illegal, the analyzer's diagnostics are raised as
+    {!Yasksite_lint.Lint.Gate_error}. [sanitize] (default [false]) runs
+    the validation measurement under the shadow-memory
+    {!Yasksite_engine.Sanitizer}. *)
 
 val tune_empirical :
   ?space:Yasksite_ecm.Config.t list ->
@@ -74,6 +86,7 @@ val tune_empirical :
   ?checkpoint:string ->
   ?pool:Yasksite_util.Pool.t ->
   ?cache:Yasksite_ecm.Cache.t ->
+  ?sanitize:bool ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Spec.t ->
   dims:int array ->
@@ -81,6 +94,11 @@ val tune_empirical :
   result
 (** Execute every configuration of [space] (default: the same advisor
     space the analytic tuner ranks) and keep the best measured one.
+    Statically illegal candidates are pruned by the schedule-legality
+    analyzer before any kernel runs (counted in [result.pruned]; an
+    all-illegal space raises {!Yasksite_lint.Lint.Gate_error}), and
+    [sanitize] (default [false]) executes every surviving candidate
+    under the shadow-memory {!Yasksite_engine.Sanitizer}.
 
     [faults] (default {!Yasksite_faults.Plan.none}) injects seeded
     transient failures, timeouts, lognormal measurement noise and

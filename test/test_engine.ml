@@ -132,13 +132,24 @@ let test_run_region_bounds () =
   let spec = Suite.resolve_defaults Suite.heat_1d_3pt in
   let g = Grid.create ~halo:[| 1 |] ~dims:[| 8 |] () in
   let o = Grid.create ~halo:[| 1 |] ~dims:[| 8 |] () in
+  (* Precondition violations now surface as lint gate diagnostics
+     (YS406/YS409), not bare Invalid_argument. *)
   Alcotest.(check bool) "oob rejected" true
     (try
        ignore
          (Sweep.run_region spec ~inputs:[| g |] ~output:o ~lo:[| 0 |]
             ~hi:[| 9 |]);
        false
-     with Invalid_argument _ -> true)
+     with Yasksite_lint.Lint.Gate_error msg ->
+       Astring_contains.contains msg "YS406");
+  Alcotest.(check bool) "rank mismatch rejected" true
+    (try
+       ignore
+         (Sweep.run_region spec ~inputs:[| g |] ~output:o ~lo:[| 0; 0 |]
+            ~hi:[| 8; 8 |]);
+       false
+     with Yasksite_lint.Lint.Gate_error msg ->
+       Astring_contains.contains msg "YS409")
 
 let test_measure_sanity () =
   let m = Machine.test_chip in

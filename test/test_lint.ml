@@ -390,7 +390,9 @@ let test_rules_table () =
     [ "YS100"; "YS101"; "YS102"; "YS103"; "YS104"; "YS105"; "YS106"; "YS107";
       "YS108"; "YS200"; "YS201"; "YS202"; "YS203"; "YS204"; "YS205"; "YS206";
       "YS207"; "YS208"; "YS301"; "YS302"; "YS303"; "YS304"; "YS305"; "YS306";
-      "YS307"; "YS308"; "YS309" ]
+      "YS307"; "YS308"; "YS309"; "YS400"; "YS401"; "YS402"; "YS403"; "YS404";
+      "YS405"; "YS406"; "YS407"; "YS408"; "YS409"; "YS450"; "YS451"; "YS452";
+      "YS453"; "YS454"; "YS455"; "YS456" ]
 
 (* ------------------------------------------------------------------ *)
 (* Self-lint of everything the repo ships                              *)

@@ -13,4 +13,5 @@ let () =
       ("ode", Test_ode.suite);
       ("offsite", Test_offsite.suite);
       ("lint", Test_lint.suite);
+      ("schedule", Test_schedule.suite);
       ("core", Test_core.suite) ]

@@ -166,6 +166,24 @@ let test_parallel_sweep_traced () =
     ((Hierarchy.counters trace_s).Hierarchy.accesses) accesses_p;
   Alcotest.(check int) "merged counts deterministic" accesses_p accesses_p2
 
+let test_parallel_sweep_sanitized () =
+  (* The shadow-memory sanitizer observes every read and write of the
+     partitioned sweep without perturbing it: outputs stay bit-identical
+     to the sequential run and a legal schedule records zero traps. *)
+  let module Sanitizer = Yasksite_engine.Sanitizer in
+  let spec, config, make = sweep_setup (Config.v ~block:[| 0; 8 |] ()) in
+  let inputs_s, out_s = make () in
+  let _ = Sweep.run ~config spec ~inputs:inputs_s ~output:out_s in
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  let inputs_p, out_p = make () in
+  let san = Sanitizer.create ~fail_fast:false () in
+  let _ =
+    Sweep.run ~pool ~sanitize:san ~config spec ~inputs:inputs_p ~output:out_p
+  in
+  Alcotest.(check (float 0.0)) "sanitized outputs bit-identical" 0.0
+    (Grid.max_abs_diff out_s out_p);
+  Alcotest.(check int) "zero traps" 0 (Sanitizer.trap_count san)
+
 let test_unblocked_runs_sequentially () =
   (* One block column: the pool must not change anything at all. *)
   let spec, config, make = sweep_setup (Config.v ()) in
@@ -188,20 +206,21 @@ let test_unblocked_runs_sequentially () =
 
 let spec2d = Suite.resolve_defaults Suite.heat_2d_5pt
 
-let tuner_results ~domains =
+let tuner_results ?(sanitize = false) ~domains () =
   let faults = Plan.v ~seed:97 ~fail_rate:0.2 ~noise_sigma:0.05 () in
   let policy = Policy.v ~max_attempts:3 ~repeats:2 () in
   let dims = [| 48; 48 |] in
   if domains = 1 then
-    Tuner.tune_empirical ~faults ~policy machine spec2d ~dims ~threads:2
+    Tuner.tune_empirical ~faults ~policy ~sanitize machine spec2d ~dims
+      ~threads:2
   else
     Pool.with_pool ~domains (fun pool ->
-        Tuner.tune_empirical ~faults ~policy ~pool machine spec2d ~dims
-          ~threads:2)
+        Tuner.tune_empirical ~faults ~policy ~sanitize ~pool machine spec2d
+          ~dims ~threads:2)
 
 let test_tuner_pool_invariant () =
-  let seq = tuner_results ~domains:1 in
-  let par = tuner_results ~domains:4 in
+  let seq = tuner_results ~domains:1 () in
+  let par = tuner_results ~domains:4 () in
   Alcotest.(check bool) "same chosen config" true
     (Config.equal seq.Tuner.chosen par.Tuner.chosen);
   Alcotest.(check (float 0.0)) "measured LUP/s bit-equal"
@@ -219,6 +238,21 @@ let test_tuner_pool_invariant () =
       Alcotest.(check int) "same skip attempts" a.Tuner.s_attempts
         b.Tuner.s_attempts)
     seq.Tuner.skipped par.Tuner.skipped
+
+let test_tuner_pool_invariant_sanitized () =
+  (* Pool-invariance must survive the sanitizer: shadow bookkeeping is
+     per-measurement state, so sanitized tuning picks the same config
+     at the same measured rate as unsanitized tuning, pool or not. *)
+  let plain = tuner_results ~domains:1 () in
+  let seq = tuner_results ~sanitize:true ~domains:1 () in
+  let par = tuner_results ~sanitize:true ~domains:4 () in
+  Alcotest.(check bool) "same chosen config" true
+    (Config.equal seq.Tuner.chosen par.Tuner.chosen);
+  Alcotest.(check (float 0.0)) "measured LUP/s bit-equal"
+    seq.Tuner.measured_lups par.Tuner.measured_lups;
+  Alcotest.(check int) "same attempts" seq.Tuner.attempts par.Tuner.attempts;
+  Alcotest.(check bool) "sanitizer does not change the choice" true
+    (Config.equal plain.Tuner.chosen seq.Tuner.chosen)
 
 let prop_tuner_pool_invariant_seeds =
   QCheck.Test.make ~name:"tune_empirical pool-invariant across seeds" ~count:4
@@ -410,10 +444,14 @@ let suite =
       test_parallel_sweep_untraced;
     Alcotest.test_case "parallel sweep traced" `Quick
       test_parallel_sweep_traced;
+    Alcotest.test_case "parallel sweep sanitized" `Quick
+      test_parallel_sweep_sanitized;
     Alcotest.test_case "unblocked sweep ignores pool" `Quick
       test_unblocked_runs_sequentially;
     Alcotest.test_case "tune_empirical pool-invariant" `Quick
       test_tuner_pool_invariant;
+    Alcotest.test_case "tune_empirical pool-invariant under sanitizer" `Quick
+      test_tuner_pool_invariant_sanitized;
     qt prop_tuner_pool_invariant_seeds;
     qt prop_create_indexed;
     Alcotest.test_case "cache hit" `Quick test_cache_hit;
