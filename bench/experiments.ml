@@ -838,7 +838,135 @@ let e15 () =
       Out_channel.output_string oc json);
   Printf.printf "wrote bench/BENCH_parallel.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* E16 — the kernel-plan execution backend vs the legacy closure tree:
+   sweep wall clock at rank 2 and 3 (identical grids, bit-identical
+   outputs asserted), plus a sanitized pass over the legal tuning space
+   of both shipped machine models confirming the plan driver traps
+   nowhere the schedule analyzer allows. Writes bench/BENCH_plan.json. *)
+
+let e16 () =
+  header "e16" "Kernel-plan backend vs closure backend (BENCH_plan.json)";
+  let module Sweep = Engine.Sweep in
+  let module Sanitizer = Engine.Sanitizer in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let sweep_case (spec, dims, reps) =
+    let spec = Stencil.Suite.resolve_defaults spec in
+    let info = Stencil.Analysis.of_spec spec in
+    let halo = Stencil.Analysis.halo info in
+    let rank = spec.Stencil.Spec.rank in
+    let prng = Yasksite_util.Prng.create ~seed:(16 * rank) in
+    let a = Grid.create ~halo ~dims () in
+    Grid.fill a ~f:(fun _ ->
+        Yasksite_util.Prng.float_range prng ~lo:(-1.0) ~hi:1.0);
+    Grid.halo_dirichlet a 0.25;
+    let run backend =
+      let o = Grid.create ~halo ~dims () in
+      (* Best-of-3 over [reps] back-to-back sweeps to shed scheduler
+         noise; the first timed run also warms the allocator. *)
+      let best = ref infinity in
+      for _ = 1 to 3 do
+        let (_ : Sweep.stats), s =
+          time (fun () ->
+              let acc = ref Sweep.zero_stats in
+              for _ = 1 to reps do
+                acc :=
+                  Sweep.add_stats !acc
+                    (Sweep.run ~backend spec ~inputs:[| a |] ~output:o)
+              done;
+              !acc)
+        in
+        if s < !best then best := s
+      done;
+      (o, !best)
+    in
+    let o_plan, plan_s = run Sweep.Plan_backend in
+    let o_closure, closure_s = run Sweep.Closure_backend in
+    let identical = Grid.max_abs_diff o_plan o_closure = 0.0 in
+    let points = Array.fold_left ( * ) 1 dims in
+    let speedup = closure_s /. plan_s in
+    Printf.printf
+      "%-14s rank %d %-12s %7d pts x%d: closure %.4f s, plan %.4f s \
+       (%.2fx, outputs %s)\n"
+      spec.Stencil.Spec.name rank
+      (String.concat "x" (Array.to_list (Array.map string_of_int dims)))
+      points reps closure_s plan_s speedup
+      (if identical then "bit-identical" else "DIFFER");
+    (spec, dims, points, reps, closure_s, plan_s, speedup, identical)
+  in
+  let cases =
+    List.map sweep_case
+      [ (Stencil.Suite.heat_2d_5pt, [| 512; 512 |], 8);
+        (Stencil.Suite.heat_3d_7pt, [| 96; 96; 96 |], 4) ]
+  in
+  (* The plan driver skips per-point bounds checks; run the whole legal
+     tuning space of both shipped machine models under the fail-fast
+     sanitizer to show it traps nowhere the analyzer admits. *)
+  let spec2 = Stencil.Suite.resolve_defaults Stencil.Suite.heat_2d_5pt in
+  let sdims = [| 24; 24 |] in
+  let info2 = Stencil.Analysis.of_spec spec2 in
+  let legal_rows =
+    List.map
+      (fun m ->
+        let space = Advisor.space m ~dims:sdims ~threads:2 ~rank:2 in
+        let legal = List.filter (Lint.Schedule.legal info2 ~dims:sdims) space in
+        let traps = ref 0 in
+        List.iter
+          (fun config ->
+            try
+              ignore
+                (Engine.Measure.stencil_sweep ~sanitize:true m spec2
+                   ~dims:sdims ~config
+                  : Measure.t)
+            with Sanitizer.Trap _ -> incr traps)
+          legal;
+        Printf.printf
+          "%s: %d legal candidates of %d swept under the sanitizer, %d traps\n"
+          m.Machine.name (List.length legal) (List.length space) !traps;
+        (m, List.length space, List.length legal, !traps))
+      [ clx; rome ]
+  in
+  let json =
+    let case_json (spec, dims, points, reps, closure_s, plan_s, speedup, id) =
+      Printf.sprintf
+        "    {\n\
+        \      \"stencil\": \"%s\",\n\
+        \      \"rank\": %d,\n\
+        \      \"dims\": [%s],\n\
+        \      \"points\": %d,\n\
+        \      \"reps\": %d,\n\
+        \      \"closure_s\": %.6f,\n\
+        \      \"plan_s\": %.6f,\n\
+        \      \"speedup\": %.2f,\n\
+        \      \"bit_identical\": %b\n\
+        \    }"
+        spec.Stencil.Spec.name spec.Stencil.Spec.rank
+        (String.concat ", " (Array.to_list (Array.map string_of_int dims)))
+        points reps closure_s plan_s speedup id
+    in
+    let legal_json (m, space, legal, traps) =
+      Printf.sprintf
+        "    { \"machine\": \"%s\", \"candidates\": %d, \"legal\": %d, \
+         \"traps\": %d }"
+        m.Machine.name space legal traps
+    in
+    Printf.sprintf
+      "{\n\
+      \  \"sweeps\": [\n%s\n  ],\n\
+      \  \"sanitized_legal_space\": [\n%s\n  ]\n\
+       }\n"
+      (String.concat ",\n" (List.map case_json cases))
+      (String.concat ",\n" (List.map legal_json legal_rows))
+  in
+  Out_channel.with_open_text "bench/BENCH_plan.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "wrote bench/BENCH_plan.json\n"
+
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
             ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-            ("e15", e15) ]
+            ("e15", e15); ("e16", e16) ]

@@ -112,6 +112,24 @@ let sanitize_arg =
   in
   Arg.(value & flag & info [ "sanitize" ] ~doc)
 
+let backend_arg =
+  let backend =
+    Arg.enum
+      [ ("plan", Engine.Sweep.Plan_backend);
+        ("closure", Engine.Sweep.Closure_backend) ]
+  in
+  let doc =
+    "Execution backend for sweeps: $(b,plan) (the kernel-plan driver — \
+     row-hoisted table-addressed loops, the default) or $(b,closure) \
+     (the legacy per-point closure tree). Both produce bit-identical \
+     results. Default: the YASKSITE_BACKEND environment variable, else \
+     plan."
+  in
+  Arg.(
+    value
+    & opt (some backend) None
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
 (* Explicit --domains gets a private pool (shut down on the way out);
    otherwise the environment-sized shared pool is used. *)
 let with_domains domains f =
@@ -346,8 +364,9 @@ let parallel_sweep_demo ?(sanitize = false) k ~config pool =
 
 let run_cmd =
   let run machine scale stencil expr dims threads block fold wavefront nt
-      stagger domains sanitize =
+      stagger domains sanitize backend =
     protect @@ fun () ->
+    Option.iter Engine.Sweep.set_default_backend backend;
     let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
     let config =
       or_die
@@ -366,7 +385,7 @@ let run_cmd =
     Term.(
       const run $ machine_arg $ scale_arg $ stencil_arg $ expr_arg $ dims_arg
       $ threads_arg $ block_arg $ fold_arg $ wavefront_arg $ nt_arg
-      $ stagger_arg $ domains_arg $ sanitize_arg)
+      $ stagger_arg $ domains_arg $ sanitize_arg $ backend_arg)
 
 let tune_cmd =
   let top =
@@ -412,8 +431,9 @@ let tune_cmd =
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
   in
   let run machine scale stencil expr dims threads top empirical fault_seed
-      fault_rate noise retries budget resume domains sanitize =
+      fault_rate noise retries budget resume domains sanitize backend =
     protect @@ fun () ->
+    Option.iter Engine.Sweep.set_default_backend backend;
     let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
     with_domains domains @@ fun pool ->
     let cache = Model_cache.shared in
@@ -509,7 +529,7 @@ let tune_cmd =
       const run $ machine_arg $ scale_arg $ stencil_arg $ expr_arg $ dims_arg
       $ threads_arg $ top $ empirical_arg $ fault_seed_arg $ fault_rate_arg
       $ noise_arg $ retries_arg $ budget_arg $ resume_arg $ domains_arg
-      $ sanitize_arg)
+      $ sanitize_arg $ backend_arg)
 
 let scheme_name = function
   | `Unfused -> "unfused"

@@ -10,6 +10,8 @@ module Stencil = struct
   module Dsl = Yasksite_stencil.Dsl
   module Suite = Yasksite_stencil.Suite
   module Compile = Yasksite_stencil.Compile
+  module Plan = Yasksite_stencil.Plan
+  module Lower = Yasksite_stencil.Lower
   module Gen = Yasksite_stencil.Gen
   module Parser = Yasksite_stencil.Parser
 end

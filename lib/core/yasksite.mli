@@ -38,6 +38,15 @@ module Stencil : sig
   module Dsl = Yasksite_stencil.Dsl
   module Suite = Yasksite_stencil.Suite
   module Compile = Yasksite_stencil.Compile
+
+  module Plan = Yasksite_stencil.Plan
+  (** The flat kernel-plan IR every stencil lowers to; its fingerprint
+      keys the {!Model_cache} and tuner checkpoints. *)
+
+  module Lower = Yasksite_stencil.Lower
+  (** Lowering to {!Plan} and binding plans to concrete grids (the
+      default execution backend of {!Engine.Sweep}). *)
+
   module Gen = Yasksite_stencil.Gen
   module Parser = Yasksite_stencil.Parser
 end

@@ -1,7 +1,7 @@
 module Machine = Yasksite_arch.Machine
 module Cache_level = Yasksite_arch.Cache_level
 module Analysis = Yasksite_stencil.Analysis
-module Spec = Yasksite_stencil.Spec
+module Lower = Yasksite_stencil.Lower
 
 (* Memoization of [Model.predict]. The model is pure — its output is a
    function of the machine, the kernel, the grid size and the config —
@@ -68,15 +68,13 @@ let machine_fingerprint (m : Machine.t) =
        | Machine.Overlapping -> "overlap"));
   Digest.to_hex (Digest.string (Buffer.contents b))
 
-(* The kernel's behaviourally relevant content: its C rendering covers
-   the expression (resolved coefficients included) and field accesses;
-   rank and field count guard the rest of the spec. *)
-let kernel_signature (a : Analysis.t) =
-  let s = a.Analysis.spec in
-  Digest.to_hex
-    (Digest.string
-       (Printf.sprintf "%s|%d|%d|%s" s.Spec.name s.Spec.rank s.Spec.n_fields
-          (Spec.to_c s)))
+(* The kernel's behaviourally relevant content is exactly what its
+   lowered plan contains — rank, field count, canonical access table and
+   the constant-folded body — so the plan fingerprint is the signature.
+   Unlike the old [Spec.to_c] digest it is content-addressed: renaming a
+   kernel or rewriting its expression into a bit-identical plan shares
+   cache entries. *)
+let kernel_signature (a : Analysis.t) = Lower.fingerprint a.Analysis.spec
 
 let dims_str dims =
   String.concat "x" (Array.to_list (Array.map string_of_int dims))

@@ -4,6 +4,7 @@ module Machine = Yasksite_arch.Machine
 module Cache_level = Yasksite_arch.Cache_level
 module Spec = Yasksite_stencil.Spec
 module Analysis = Yasksite_stencil.Analysis
+module Lower = Yasksite_stencil.Lower
 module Config = Yasksite_ecm.Config
 module Incore = Yasksite_ecm.Incore
 module Prng = Yasksite_util.Prng
@@ -64,35 +65,42 @@ let make_grids spec ~space ~dims ~config ~rng =
   (info, inputs, output)
 
 (* Execute warm-up plus a measured pass; return work stats and the number
-   of measured lattice updates. *)
-let execute spec ~inputs ~output ~config ~vec_unit ~trace ~sanitize =
+   of measured lattice updates. The kernel plan is lowered once by the
+   caller and reused for every pass. *)
+let execute ?backend ?plan spec ~inputs ~output ~config ~vec_unit ~trace
+    ~sanitize =
   let wf = config.Config.wavefront in
   if wf > 1 then begin
     let a = inputs.(0) and b = output in
     (* Warm-up pass. *)
     let final, _ =
-      Wavefront.steps ~trace ?sanitize ~config ~vec_unit spec ~a ~b ~steps:wf
+      Wavefront.steps ?backend ?plan ~trace ?sanitize ~config ~vec_unit spec
+        ~a ~b ~steps:wf
     in
     Hierarchy.reset_counters trace;
     let a', b' = if final == a then (a, b) else (b, a) in
     let _, stats =
-      Wavefront.steps ~trace ?sanitize ~config ~vec_unit spec ~a:a' ~b:b'
-        ~steps:wf
+      Wavefront.steps ?backend ?plan ~trace ?sanitize ~config ~vec_unit spec
+        ~a:a' ~b:b' ~steps:wf
     in
     stats
   end
   else begin
     (* Warm-up sweep, then a measured ping-pong pass (two sweeps). *)
     let swap_input = Array.copy inputs in
-    let _ = Sweep.run ~trace ?sanitize ~config ~vec_unit spec ~inputs ~output in
+    let _ =
+      Sweep.run ?backend ?plan ~trace ?sanitize ~config ~vec_unit spec
+        ~inputs ~output
+    in
     Hierarchy.reset_counters trace;
     swap_input.(0) <- output;
     let s1 =
-      Sweep.run ~trace ?sanitize ~config ~vec_unit spec ~inputs:swap_input
-        ~output:inputs.(0)
+      Sweep.run ?backend ?plan ~trace ?sanitize ~config ~vec_unit spec
+        ~inputs:swap_input ~output:inputs.(0)
     in
     let s2 =
-      Sweep.run ~trace ?sanitize ~config ~vec_unit spec ~inputs ~output
+      Sweep.run ?backend ?plan ~trace ?sanitize ~config ~vec_unit spec
+        ~inputs ~output
     in
     Sweep.add_stats s1 s2
   end
@@ -106,7 +114,7 @@ let sanitize_default () =
   | None | Some "" | Some "0" -> false
   | Some _ -> true
 
-let stencil_sweep ?(clock = Clock.system) ?sanitize (m : Machine.t)
+let stencil_sweep ?(clock = Clock.system) ?backend ?sanitize (m : Machine.t)
     spec ~dims ~config =
   let sanitize =
     match sanitize with Some s -> s | None -> sanitize_default ()
@@ -141,8 +149,10 @@ let stencil_sweep ?(clock = Clock.system) ?sanitize (m : Machine.t)
      outlive the grids it describes. Fail-fast — a trap is a legality
      bug and aborts the measurement loudly. *)
   let sanitizer = if sanitize then Some (Sanitizer.create ()) else None in
+  let plan = Lower.lower spec in
   let stats =
-    execute spec ~inputs ~output ~config ~vec_unit ~trace ~sanitize:sanitizer
+    execute ?backend ~plan spec ~inputs ~output ~config ~vec_unit ~trace
+      ~sanitize:sanitizer
   in
   let points = stats.Sweep.points in
   let lups_per_cl = float_of_int (Incore.lups_per_cl m) in

@@ -34,6 +34,7 @@ type t = {
 
 val stencil_sweep :
   ?clock:Yasksite_util.Clock.t ->
+  ?backend:Sweep.backend ->
   ?sanitize:bool ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Spec.t ->

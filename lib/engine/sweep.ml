@@ -3,6 +3,8 @@ module Hierarchy = Yasksite_cachesim.Hierarchy
 module Spec = Yasksite_stencil.Spec
 module Analysis = Yasksite_stencil.Analysis
 module Compile = Yasksite_stencil.Compile
+module Plan = Yasksite_stencil.Plan
+module Lower = Yasksite_stencil.Lower
 module Expr = Yasksite_stencil.Expr
 module Config = Yasksite_ecm.Config
 module Pool = Yasksite_util.Pool
@@ -19,6 +21,32 @@ let add_stats a b =
     vec_units = a.vec_units + b.vec_units;
     rows = a.rows + b.rows;
     blocks = a.blocks + b.blocks }
+
+(* ---- execution backends ---- *)
+
+type backend = Plan_backend | Closure_backend
+
+let backend_override = ref None
+
+let set_default_backend b = backend_override := Some b
+
+let default_backend () =
+  match !backend_override with
+  | Some b -> b
+  | None -> (
+      match Sys.getenv_opt "YASKSITE_BACKEND" with
+      | None | Some "" | Some "plan" -> Plan_backend
+      | Some "closure" -> Closure_backend
+      | Some other ->
+          invalid_arg
+            (Printf.sprintf
+               "Sweep: YASKSITE_BACKEND must be \"plan\" or \"closure\", \
+                got %S"
+               other))
+
+let backend_name = function
+  | Plan_backend -> "plan"
+  | Closure_backend -> "closure"
 
 let ceil_div a b = (a + b - 1) / b
 
@@ -58,153 +86,15 @@ let check_region ~dims ~lo ~hi =
   in
   Lint.gate ~context:"Sweep.run_region" ds
 
-(* The per-point update closure: trace reads, evaluate, trace + perform
-   the write. Building it once keeps the hot loops free of dispatch. *)
+(* All ranks route through the plan driver for addressing: row bases are
+   set once per row ([Lower.set_row]) and the inner x-loop walks the
+   row through the bound's precomputed last-dimension tables. The
+   closure backend only swaps the evaluator — tracing, sanitizing and
+   output addressing are shared, which is what keeps the two backends'
+   traces and traps identical by construction. *)
 
-let make_update1 spec ~inputs ~(output : Grid.t) ~trace ~nt =
-  let eval = Compile.compile1 spec ~inputs in
-  let oix = Grid.indexer1 output in
-  match trace with
-  | None -> fun x -> Grid.unsafe_set_flat output (oix x) (eval x)
-  | Some h ->
-      let info = Analysis.of_spec spec in
-      let readers =
-        Array.of_list
-          (List.map
-             (fun (a : Expr.access) ->
-               let g = inputs.(a.field) in
-               let ix = Grid.indexer1 g in
-               let base = Grid.base_address g in
-               let d0 = a.offsets.(0) in
-               fun x -> base + (8 * ix (x + d0)))
-             info.accesses)
-      in
-      let obase = Grid.base_address output in
-      let store = if nt then Hierarchy.write_nt h else Hierarchy.write h in
-      fun x ->
-        Array.iter (fun addr -> Hierarchy.read h ~addr:(addr x)) readers;
-        let v = eval x in
-        let o = oix x in
-        store ~addr:(obase + (8 * o));
-        Grid.unsafe_set_flat output o v
-
-let make_update2 spec ~inputs ~(output : Grid.t) ~trace ~nt =
-  let eval = Compile.compile2 spec ~inputs in
-  let oix = Grid.indexer2 output in
-  match trace with
-  | None -> fun y x -> Grid.unsafe_set_flat output (oix y x) (eval y x)
-  | Some h ->
-      let info = Analysis.of_spec spec in
-      let readers =
-        Array.of_list
-          (List.map
-             (fun (a : Expr.access) ->
-               let g = inputs.(a.field) in
-               let ix = Grid.indexer2 g in
-               let base = Grid.base_address g in
-               let d0 = a.offsets.(0) and d1 = a.offsets.(1) in
-               fun y x -> base + (8 * ix (y + d0) (x + d1)))
-             info.accesses)
-      in
-      let obase = Grid.base_address output in
-      let store = if nt then Hierarchy.write_nt h else Hierarchy.write h in
-      fun y x ->
-        Array.iter (fun addr -> Hierarchy.read h ~addr:(addr y x)) readers;
-        let v = eval y x in
-        let o = oix y x in
-        store ~addr:(obase + (8 * o));
-        Grid.unsafe_set_flat output o v
-
-let make_update3 spec ~inputs ~(output : Grid.t) ~trace ~nt =
-  let eval = Compile.compile3 spec ~inputs in
-  let oix = Grid.indexer3 output in
-  match trace with
-  | None ->
-      fun z y x -> Grid.unsafe_set_flat output (oix z y x) (eval z y x)
-  | Some h ->
-      let info = Analysis.of_spec spec in
-      let readers =
-        Array.of_list
-          (List.map
-             (fun (a : Expr.access) ->
-               let g = inputs.(a.field) in
-               let ix = Grid.indexer3 g in
-               let base = Grid.base_address g in
-               let d0 = a.offsets.(0)
-               and d1 = a.offsets.(1)
-               and d2 = a.offsets.(2) in
-               fun z y x -> base + (8 * ix (z + d0) (y + d1) (x + d2)))
-             info.accesses)
-      in
-      let obase = Grid.base_address output in
-      let store = if nt then Hierarchy.write_nt h else Hierarchy.write h in
-      fun z y x ->
-        Array.iter (fun addr -> Hierarchy.read h ~addr:(addr z y x)) readers;
-        let v = eval z y x in
-        let o = oix z y x in
-        store ~addr:(obase + (8 * o));
-        Grid.unsafe_set_flat output o v
-
-(* Shadow-check wrappers around the per-point closures: every read of
-   the stencil's access set and the output write are validated against
-   the sanitizer pass before the real update executes (an out-of-bounds
-   trap therefore fires before the engine's unchecked access would). *)
-
-let sanitize_update1 sl spec ~inputs update =
-  let info = Analysis.of_spec spec in
-  let readers =
-    Array.of_list
-      (List.map
-         (fun (a : Expr.access) ->
-           let chk = Sanitizer.reader sl inputs.(a.field) in
-           let d0 = a.offsets.(0) in
-           fun x -> chk [| x + d0 |])
-         info.accesses)
-  in
-  let write = Sanitizer.writer sl in
-  fun x ->
-    Array.iter (fun r -> r x) readers;
-    write [| x |];
-    update x
-
-let sanitize_update2 sl spec ~inputs update =
-  let info = Analysis.of_spec spec in
-  let readers =
-    Array.of_list
-      (List.map
-         (fun (a : Expr.access) ->
-           let chk = Sanitizer.reader sl inputs.(a.field) in
-           let d0 = a.offsets.(0) and d1 = a.offsets.(1) in
-           fun y x -> chk [| y + d0; x + d1 |])
-         info.accesses)
-  in
-  let write = Sanitizer.writer sl in
-  fun y x ->
-    Array.iter (fun r -> r y x) readers;
-    write [| y; x |];
-    update y x
-
-let sanitize_update3 sl spec ~inputs update =
-  let info = Analysis.of_spec spec in
-  let readers =
-    Array.of_list
-      (List.map
-         (fun (a : Expr.access) ->
-           let chk = Sanitizer.reader sl inputs.(a.field) in
-           let d0 = a.offsets.(0)
-           and d1 = a.offsets.(1)
-           and d2 = a.offsets.(2) in
-           fun z y x -> chk [| z + d0; y + d1; x + d2 |])
-         info.accesses)
-  in
-  let write = Sanitizer.writer sl in
-  fun z y x ->
-    Array.iter (fun r -> r z y x) readers;
-    write [| z; y; x |];
-    update z y x
-
-let run_region ?trace ?sanitize ?(check = true) ?(config = Config.default)
-    ?vec_unit spec ~inputs ~output ~lo ~hi =
+let run_region ?backend ?bound ?trace ?sanitize ?(check = true)
+    ?(config = Config.default) ?vec_unit spec ~inputs ~output ~lo ~hi =
   let dims = Grid.dims output in
   if check then begin
     let ds = ref [] in
@@ -231,36 +121,121 @@ let run_region ?trace ?sanitize ?(check = true) ?(config = Config.default)
   in
   let block = Config.block_extents config ~dims in
   let nt = config.Config.streaming_stores in
+  let backend = match backend with Some b -> b | None -> default_backend () in
+  (* On the closure backend the staged compiler runs first, so its
+     diagnostics ([Compile: ...], Unresolved_coefficient) keep surfacing
+     exactly as before the plan driver existed. *)
+  let closure_eval =
+    match backend with
+    | Plan_backend -> None
+    | Closure_backend ->
+        Some
+          (match rank with
+          | 1 ->
+              let f = Compile.compile1 spec ~inputs in
+              fun (_ : int array) x -> f x
+          | 2 ->
+              let f = Compile.compile2 spec ~inputs in
+              fun (outer : int array) x -> f outer.(0) x
+          | _ ->
+              let f = Compile.compile3 spec ~inputs in
+              fun (outer : int array) x -> f outer.(0) outer.(1) x)
+  in
+  let bound =
+    match bound with
+    | Some b -> b
+    | None -> Lower.bind (Lower.lower spec) ~inputs ~output
+  in
+  let drv = Lower.driver bound in
+  let accesses = (Lower.plan_of bound).Plan.accesses in
+  let nslots = Array.length accesses in
+  (* Shadow checks run per point *before* any evaluation or address
+     computation, so an out-of-bounds trap fires ahead of the driver's
+     unchecked table access. Scratch coordinate arrays are safe to
+     reuse: the sanitizer copies on record. *)
+  let sanitize_point =
+    match sanitize with
+    | None -> None
+    | Some sl ->
+        let checkers =
+          Array.map
+            (fun (a : Expr.access) -> Sanitizer.reader sl inputs.(a.field))
+            accesses
+        in
+        let write = Sanitizer.writer sl in
+        let rc = Array.make rank 0 and wc = Array.make rank 0 in
+        Some
+          (fun (outer : int array) x ->
+            for s = 0 to nslots - 1 do
+              let off = accesses.(s).Expr.offsets in
+              for i = 0 to rank - 2 do
+                rc.(i) <- outer.(i) + off.(i)
+              done;
+              rc.(rank - 1) <- x + off.(rank - 1);
+              checkers.(s) rc
+            done;
+            for i = 0 to rank - 2 do
+              wc.(i) <- outer.(i)
+            done;
+            wc.(rank - 1) <- x;
+            write wc)
+  in
+  let row_body =
+    match (closure_eval, trace, sanitize_point) with
+    | None, None, None ->
+        (* the hot path: one monomorphic loop inside the driver *)
+        fun (_ : int array) xb xe -> Lower.store_row drv xb xe
+    | _ ->
+        let eval =
+          match closure_eval with
+          | None -> fun (_ : int array) x -> Lower.eval drv x
+          | Some f -> f
+        in
+        let traced =
+          match trace with
+          | None -> None
+          | Some h ->
+              let store =
+                if nt then Hierarchy.write_nt h else Hierarchy.write h
+              in
+              Some (h, store)
+        in
+        fun outer xb xe ->
+          for x = xb to xe - 1 do
+            (match sanitize_point with Some f -> f outer x | None -> ());
+            match traced with
+            | Some (h, store) ->
+                for s = 0 to nslots - 1 do
+                  Hierarchy.read h ~addr:(Lower.read_addr drv s x)
+                done;
+                let v = eval outer x in
+                let o = Lower.out_offset drv x in
+                store ~addr:(Lower.out_addr drv x);
+                Grid.unsafe_set_flat output o v
+            | None ->
+                let v = eval outer x in
+                Grid.unsafe_set_flat output (Lower.out_offset drv x) v
+          done
+  in
   let points = ref 0 and vec_units = ref 0 and rows = ref 0 and blocks = ref 0 in
   (match rank with
   | 1 ->
-      let update = make_update1 spec ~inputs ~output ~trace ~nt in
-      let update =
-        match sanitize with
-        | None -> update
-        | Some sl -> sanitize_update1 sl spec ~inputs update
-      in
+      let outer = [||] in
+      Lower.set_row drv outer;
       let bx = block.(0) in
       let xb = ref lo.(0) in
       while !xb < hi.(0) do
         let xe = min hi.(0) (!xb + bx) in
         incr blocks;
         incr rows;
-        for x = !xb to xe - 1 do
-          update x
-        done;
+        row_body outer !xb xe;
         points := !points + (xe - !xb);
         vec_units := !vec_units + units_of_box [| xe - !xb |] fold;
         xb := xe
       done
   | 2 ->
       (* Block x (dim 1), stream y (dim 0) inside each block. *)
-      let update = make_update2 spec ~inputs ~output ~trace ~nt in
-      let update =
-        match sanitize with
-        | None -> update
-        | Some sl -> sanitize_update2 sl spec ~inputs update
-      in
+      let outer = Array.make 1 0 in
       let bx = block.(1) in
       let xb = ref lo.(1) in
       while !xb < hi.(1) do
@@ -268,9 +243,9 @@ let run_region ?trace ?sanitize ?(check = true) ?(config = Config.default)
         incr blocks;
         for y = lo.(0) to hi.(0) - 1 do
           incr rows;
-          for x = !xb to xe - 1 do
-            update y x
-          done
+          outer.(0) <- y;
+          Lower.set_row drv outer;
+          row_body outer !xb xe
         done;
         let ny = hi.(0) - lo.(0) and nx = xe - !xb in
         points := !points + (ny * nx);
@@ -280,12 +255,7 @@ let run_region ?trace ?sanitize ?(check = true) ?(config = Config.default)
   | _ ->
       (* Block y and x (dims 1, 2), stream z (dim 0) inside each block
          column. *)
-      let update = make_update3 spec ~inputs ~output ~trace ~nt in
-      let update =
-        match sanitize with
-        | None -> update
-        | Some sl -> sanitize_update3 sl spec ~inputs update
-      in
+      let outer = Array.make 2 0 in
       let by = block.(1) and bx = block.(2) in
       let yb = ref lo.(1) in
       while !yb < hi.(1) do
@@ -295,11 +265,12 @@ let run_region ?trace ?sanitize ?(check = true) ?(config = Config.default)
           let xe = min hi.(2) (!xb + bx) in
           incr blocks;
           for z = lo.(0) to hi.(0) - 1 do
+            outer.(0) <- z;
             for y = !yb to ye - 1 do
               incr rows;
-              for x = !xb to xe - 1 do
-                update z y x
-              done
+              outer.(1) <- y;
+              Lower.set_row drv outer;
+              row_body outer !xb xe
             done
           done;
           let nz = hi.(0) - lo.(0) and ny = ye - !yb and nx = xe - !xb in
@@ -311,12 +282,12 @@ let run_region ?trace ?sanitize ?(check = true) ?(config = Config.default)
       done);
   { points = !points; vec_units = !vec_units; rows = !rows; blocks = !blocks }
 
-let run_sequential ?trace ?sanitize ?check ?config ?vec_unit spec ~inputs
-    ~output =
+let run_sequential ?backend ?bound ?trace ?sanitize ?check ?config ?vec_unit
+    spec ~inputs ~output =
   let dims = Grid.dims output in
   let lo = Array.map (fun _ -> 0) dims in
-  run_region ?trace ?sanitize ?check ?config ?vec_unit spec ~inputs ~output
-    ~lo ~hi:dims
+  run_region ?backend ?bound ?trace ?sanitize ?check ?config ?vec_unit spec
+    ~inputs ~output ~lo ~hi:dims
 
 (* Domain-parallel sweep. The interior is split along the blocked
    dimension (dim 0 for rank 1, dim 1 — x or y — otherwise) at block
@@ -327,8 +298,8 @@ let run_sequential ?trace ?sanitize ?check ?config ?vec_unit spec ~inputs
    single block column and run sequentially — spatial blocking is what
    creates the parallelism, exactly as it creates the per-thread
    partition on the modelled machine. *)
-let run ?pool ?trace ?sanitize ?(check = true) ?config ?vec_unit spec ~inputs
-    ~output =
+let run ?pool ?backend ?plan ?bound ?trace ?sanitize ?(check = true) ?config
+    ?vec_unit spec ~inputs ~output =
   let cfg = match config with Some c -> c | None -> Config.default in
   (* The schedule-legality gate: halo sufficiency, aliasing, layout and
      extent agreement are decided *before* the sweep touches memory.
@@ -336,6 +307,7 @@ let run ?pool ?trace ?sanitize ?(check = true) ?config ?vec_unit spec ~inputs
   if check then
     Lint.gate ~context:"Sweep.run"
       (Schedule_lint.grids (Analysis.of_spec spec) cfg ~inputs ~output);
+  let backend = match backend with Some b -> b | None -> default_backend () in
   let pass =
     match sanitize with
     | None -> None
@@ -346,12 +318,23 @@ let run ?pool ?trace ?sanitize ?(check = true) ?config ?vec_unit spec ~inputs
         Array.iter (Sanitizer.check_fold san ~fold:cfg.Config.fold) inputs;
         Some (Sanitizer.begin_sweep san ~inputs ~output)
   in
+  (* Bind once; the bound is immutable and shared by every pool slice
+     (each slice allocates its own driver). The closure backend binds
+     inside [run_region], after the staged compiler's own checks. *)
+  let bound =
+    match (backend, bound) with
+    | _, Some b -> Some b
+    | Closure_backend, None -> None
+    | Plan_backend, None ->
+        let p = match plan with Some p -> p | None -> Lower.lower spec in
+        Some (Lower.bind p ~inputs ~output)
+  in
   let slice_of s = Option.map (fun p -> Sanitizer.slice p s) pass in
   let stats =
     match pool with
     | None ->
-        run_sequential ?trace ?sanitize:(slice_of 0) ~check:false ?config
-          ?vec_unit spec ~inputs ~output
+        run_sequential ~backend ?bound ?trace ?sanitize:(slice_of 0)
+          ~check:false ?config ?vec_unit spec ~inputs ~output
     | Some pool ->
       let dims = Grid.dims output in
       let rank = Array.length dims in
@@ -361,8 +344,8 @@ let run ?pool ?trace ?sanitize ?(check = true) ?config ?vec_unit spec ~inputs
       let nblocks = ceil_div dims.(pd) bsize in
       let nslices = min (Pool.size pool) nblocks in
       if nslices < 2 then
-        run_sequential ?trace ?sanitize:(slice_of 0) ~check:false ?config
-          ?vec_unit spec ~inputs ~output
+        run_sequential ~backend ?bound ?trace ?sanitize:(slice_of 0)
+          ~check:false ?config ?vec_unit spec ~inputs ~output
       else begin
         let bounds s =
           (* Slice [s] owns block columns [nblocks*s/nslices,
@@ -379,8 +362,9 @@ let run ?pool ?trace ?sanitize ?(check = true) ?config ?vec_unit spec ~inputs
             Pool.parallel_for ~chunk:1 pool ~n:nslices (fun s ->
                 let lo, hi = bounds s in
                 out.(s) <-
-                  run_region ?sanitize:(slice_of s) ~check:false ?config
-                    ?vec_unit spec ~inputs ~output ~lo ~hi)
+                  run_region ~backend ?bound ?sanitize:(slice_of s)
+                    ~check:false ?config ?vec_unit spec ~inputs ~output ~lo
+                    ~hi)
         | Some h ->
             (* Each slice simulates against a private clone of the shared
                hierarchy's current state, counting only its own events;
@@ -397,9 +381,9 @@ let run ?pool ?trace ?sanitize ?(check = true) ?config ?vec_unit spec ~inputs
             Pool.parallel_for ~chunk:1 pool ~n:nslices (fun s ->
                 let lo, hi = bounds s in
                 out.(s) <-
-                  run_region ~trace:clones.(s) ?sanitize:(slice_of s)
-                    ~check:false ?config ?vec_unit spec ~inputs ~output ~lo
-                    ~hi);
+                  run_region ~backend ?bound ~trace:clones.(s)
+                    ?sanitize:(slice_of s) ~check:false ?config ?vec_unit
+                    spec ~inputs ~output ~lo ~hi);
             Array.iter (fun c -> Hierarchy.merge_counters ~into:h c) clones;
             Hierarchy.adopt_contents ~into:h clones.(nslices - 1));
         Array.fold_left add_stats zero_stats out

@@ -7,7 +7,16 @@
     a {!Yasksite_cachesim.Hierarchy}, which is how "measurements" are
     taken. Results are bit-identical across schedules (verified by the
     property tests): blocking, folding and tracing change only the order
-    and observation of operations, never values. *)
+    and observation of operations, never values.
+
+    Two execution {!type-backend}s share this schedule. The default
+    [Plan_backend] binds the stencil's kernel plan
+    ({!Yasksite_stencil.Lower}) to the grids once and drives row-hoisted,
+    table-addressed inner loops with no per-point closure dispatch; the
+    legacy [Closure_backend] evaluates the staged closure tree
+    ({!Yasksite_stencil.Compile}) per point. Both produce bit-identical
+    output grids, traces and sanitizer verdicts (the plan driver supplies
+    addressing for both; property-tested). *)
 
 type stats = {
   points : int;  (** lattice updates performed *)
@@ -22,8 +31,25 @@ val zero_stats : stats
 
 val add_stats : stats -> stats -> stats
 
+type backend = Plan_backend | Closure_backend
+
+val default_backend : unit -> backend
+(** The backend used when none is passed explicitly: the value given to
+    {!set_default_backend} if any, else the [YASKSITE_BACKEND]
+    environment variable (["plan"], ["closure"], or unset/empty for
+    plan). Raises [Invalid_argument] on an unrecognised value. *)
+
+val set_default_backend : backend -> unit
+(** Process-wide override of the environment default (the CLI's
+    [--backend] flag). *)
+
+val backend_name : backend -> string
+
 val run :
   ?pool:Yasksite_util.Pool.t ->
+  ?backend:backend ->
+  ?plan:Yasksite_stencil.Plan.t ->
+  ?bound:Yasksite_stencil.Lower.bound ->
   ?trace:Yasksite_cachesim.Hierarchy.t ->
   ?sanitize:Sanitizer.t ->
   ?check:bool ->
@@ -44,18 +70,24 @@ val run :
     config's fold extents; a linear-layout kernel on an 8-lane machine
     would pass [\[|1;1;8|\]]).
 
+    [backend] selects the execution backend (default
+    {!default_backend}). On the plan backend, [plan] supplies an
+    already-lowered kernel plan (callers that sweep repeatedly lower
+    once) and [bound] an already-bound plan for these exact grids —
+    both are computed on demand when absent.
+
     With [pool], the sweep is split along the blocked dimension at
     block boundaries and slices run on the pool's domains. Output
     values and the returned stats are bit-identical to the sequential
     sweep (slices write disjoint regions and cover the same loop
-    structure). A traced parallel sweep drives one {e clone} of the
-    hierarchy per slice and merges their event counts back at the
-    barrier (the hierarchy then holds the last slice's contents) —
-    counts are deterministic for a given pool width but, unlike the
-    output, can differ from the sequential trace because slices don't
-    see each other's cache state. Unblocked configs have one block
-    column and run sequentially: spatial blocking is what creates the
-    parallelism.
+    structure; a shared bound is reused across slices). A traced
+    parallel sweep drives one {e clone} of the hierarchy per slice and
+    merges their event counts back at the barrier (the hierarchy then
+    holds the last slice's contents) — counts are deterministic for a
+    given pool width but, unlike the output, can differ from the
+    sequential trace because slices don't see each other's cache state.
+    Unblocked configs have one block column and run sequentially:
+    spatial blocking is what creates the parallelism.
 
     [check] (default [true]) runs the schedule-legality gate
     ({!Yasksite_lint.Schedule_lint.grids}: halo sufficiency, aliasing,
@@ -66,6 +98,8 @@ val run :
     illegal. *)
 
 val run_region :
+  ?backend:backend ->
+  ?bound:Yasksite_stencil.Lower.bound ->
   ?trace:Yasksite_cachesim.Hierarchy.t ->
   ?sanitize:Sanitizer.slice ->
   ?check:bool ->

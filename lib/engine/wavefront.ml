@@ -1,13 +1,15 @@
 module Grid = Yasksite_grid.Grid
 module Spec = Yasksite_stencil.Spec
 module Analysis = Yasksite_stencil.Analysis
+module Lower = Yasksite_stencil.Lower
 module Config = Yasksite_ecm.Config
 module Lint = Yasksite_lint.Lint
 module Schedule_lint = Yasksite_lint.Schedule_lint
 module D = Yasksite_lint.Diagnostic
 
-let steps ?trace ?sanitize ?(check = true) ?(config = Config.default)
-    ?vec_unit ?lo ?hi (spec : Spec.t) ~a ~b ~steps =
+let steps ?backend ?plan ?trace ?sanitize ?(check = true)
+    ?(config = Config.default) ?vec_unit ?lo ?hi (spec : Spec.t) ~a ~b ~steps
+    =
   let dims = Grid.dims a in
   let info = Analysis.of_spec spec in
   (* Precondition failures surface as YS4xx diagnostics through
@@ -33,6 +35,17 @@ let steps ?trace ?sanitize ?(check = true) ?(config = Config.default)
   let shift = Schedule_lint.effective_stagger info config in
   let n0 = dims.(0) in
   let grids = [| a; b |] in
+  let backend =
+    match backend with Some bk -> bk | None -> Sweep.default_backend ()
+  in
+  (* Lower once; a ping-pong pass only ever sees two (src, dst) pairs,
+     so the two bounds are built lazily and reused for every plane. *)
+  let plan = lazy (match plan with Some p -> p | None -> Lower.lower spec) in
+  let bound_ab =
+    lazy (Lower.bind (Lazy.force plan) ~inputs:[| a |] ~output:b)
+  and bound_ba =
+    lazy (Lower.bind (Lazy.force plan) ~inputs:[| b |] ~output:a)
+  in
   let stats = ref Sweep.zero_stats in
   let total = ref 0 in
   (* The sanitizer's view: the state in [a] is whatever version it
@@ -69,9 +82,15 @@ let steps ?trace ?sanitize ?(check = true) ?(config = Config.default)
           Sanitizer.slice pass 0)
         sanitize
     in
+    let bound =
+      match backend with
+      | Sweep.Closure_backend -> None
+      | Sweep.Plan_backend ->
+          Some (Lazy.force (if abs_t mod 2 = 0 then bound_ab else bound_ba))
+    in
     let s =
-      Sweep.run_region ?trace ?sanitize ~check ~config ?vec_unit spec
-        ~inputs:[| src |] ~output:dst ~lo:plo ~hi:phi
+      Sweep.run_region ~backend ?bound ?trace ?sanitize ~check ~config
+        ?vec_unit spec ~inputs:[| src |] ~output:dst ~lo:plo ~hi:phi
     in
     stats := Sweep.add_stats !stats s
   in

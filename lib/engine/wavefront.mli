@@ -16,6 +16,8 @@
     re-exchange. *)
 
 val steps :
+  ?backend:Sweep.backend ->
+  ?plan:Yasksite_stencil.Plan.t ->
   ?trace:Yasksite_cachesim.Hierarchy.t ->
   ?sanitize:Sanitizer.t ->
   ?check:bool ->

@@ -129,6 +129,8 @@ let get t idx = Bigarray.Array1.get t.data (offset_of t idx)
 
 let set t idx v = Bigarray.Array1.set t.data (offset_of t idx) v
 
+let raw t = t.data
+
 let unsafe_get_flat t off = Bigarray.Array1.unsafe_get t.data off
 
 let unsafe_set_flat t off v = Bigarray.Array1.unsafe_set t.data off v
@@ -171,6 +173,49 @@ let indexer3 t =
         let blk = ((((c0 / f0) * b1) + (c1 / f1)) * b2) + (c2 / f2) in
         (blk * lanes) + ((((c0 mod f0) * f1) + (c1 mod f1)) * f2)
         + (c2 mod f2)
+
+let left_pad t = Array.copy t.left_pad
+
+(* The flat offset of any point decomposes as
+   [row_base (outer coords) + last_dim_offsets.(last padded coord)]:
+   the innermost dimension's contribution is separable in both layouts
+   because folding treats dimensions independently. This is what lets a
+   kernel plan hoist per-row bases out of the inner loop and walk the
+   row through one precomputed table. *)
+
+let unit_stride t =
+  match t.layout with
+  | Linear -> true
+  | Folded _ -> t.fold.(rank t - 1) = t.lanes
+
+let last_dim_offsets t =
+  let last = rank t - 1 in
+  let n = t.padded.(last) in
+  match t.layout with
+  | Linear -> Array.init n (fun c -> c)
+  | Folded _ ->
+      let f = t.fold.(last) in
+      Array.init n (fun c -> (c / f * t.lanes) + (c mod f))
+
+let row_base t idx =
+  let r = rank t in
+  if Array.length idx <> r - 1 then
+    invalid_arg "Grid.row_base: expected rank-1 outer coordinates";
+  match t.layout with
+  | Linear ->
+      let acc = ref 0 in
+      for i = 0 to r - 2 do
+        acc := (!acc * t.padded.(i)) + idx.(i) + t.left_pad.(i)
+      done;
+      !acc * t.padded.(r - 1)
+  | Folded _ ->
+      let b = ref 0 and o = ref 0 in
+      for i = 0 to r - 2 do
+        let c = idx.(i) + t.left_pad.(i) in
+        b := (!b * t.blocks.(i)) + (c / t.fold.(i));
+        o := (!o * t.fold.(i)) + (c mod t.fold.(i))
+      done;
+      (!b * t.blocks.(r - 1) * t.lanes) + (!o * t.fold.(r - 1))
 
 (* Row-major iteration over the box [0, extents). *)
 let iter_box extents ~f =

@@ -74,6 +74,11 @@ val get : t -> int array -> float
 
 val set : t -> int array -> float -> unit
 
+val raw : t -> (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The underlying flat storage. Exposed so plan-driven kernels can keep
+    their inner loops on direct (inlineable) bigarray accesses; indexing
+    it is the caller's responsibility. *)
+
 val unsafe_get_flat : t -> int -> float
 (** Direct flat access by element offset; no bounds check. *)
 
@@ -89,6 +94,30 @@ val indexer2 : t -> int -> int -> int
 
 val indexer3 : t -> int -> int -> int -> int
 (** Rank-3 analogue of {!indexer1}; arguments ordered slowest-first. *)
+
+val left_pad : t -> int array
+(** Per-dimension left padding (the halo rounded up to a fold boundary):
+    the padded coordinate of interior point [x] in dimension [i] is
+    [x + (left_pad t).(i)]. *)
+
+val unit_stride : t -> bool
+(** Whether consecutive last-dimension coordinates are adjacent in
+    storage (true for linear layouts, and for folded layouts whose fold
+    is confined to the last dimension). *)
+
+val last_dim_offsets : t -> int array
+(** The separable last-dimension contribution to the flat offset: entry
+    [c] (a {e padded} last-dimension coordinate, [0 <= c < padded last
+    extent]) is the offset added to {!row_base} for that column. The
+    identity table for unit-stride layouts. *)
+
+val row_base : t -> int array -> int
+(** [row_base g outer] is the flat offset of the row selected by the
+    [rank-1] outer interior coordinates (halo range allowed, no bounds
+    check beyond rank): for any in-range last coordinate [x],
+    [offset_of g [|outer...; x|] =
+     row_base g outer + (last_dim_offsets g).(x + (left_pad g).(rank-1))].
+    For rank-1 grids [outer] is empty and the result is [0]. *)
 
 val fill : t -> f:(int array -> float) -> unit
 (** Set every interior point from its coordinates. *)

@@ -1,6 +1,8 @@
 module Grid = Yasksite_grid.Grid
 module Analysis = Yasksite_stencil.Analysis
 module Expr = Yasksite_stencil.Expr
+module Kplan = Yasksite_stencil.Plan
+module Lower = Yasksite_stencil.Lower
 module Pde = Yasksite_ode.Pde
 module Sweep = Yasksite_engine.Sweep
 module Lint = Yasksite_lint.Lint
@@ -11,6 +13,12 @@ type compiled = {
   (* Input buffers that are read at non-zero offsets and therefore need a
      halo refresh before the kernel runs (periodic problems only). *)
   halo_inputs : Variant.buffer list;
+  (* The kernel's lowered plan (computed once at creation) and its
+     bindings, memoized per physical grid combination: the state/next
+     ping-pong means each kernel only ever sees a couple of
+     combinations, so every step after the first two reuses a bound. *)
+  plan : Kplan.t;
+  mutable bounds : (int list * Lower.bound) list;
 }
 
 type t = {
@@ -84,7 +92,9 @@ let create (pde : Pde.t) (variant : Variant.t) =
         in
         { kernel = k;
           halo_inputs =
-            List.map (fun f -> k.Variant.inputs.(f)) fields_at_offsets })
+            List.map (fun f -> k.Variant.inputs.(f)) fields_at_offsets;
+          plan = Lower.lower k.Variant.spec;
+          bounds = [] })
       variant.Variant.kernels
   in
   let t = { pde; variant; state; next_state; others; kernels; steps_done = 0 } in
@@ -112,14 +122,35 @@ let refresh_halo t buffer =
   | Pde.Periodic -> Grid.halo_periodic (grid_of t buffer)
 
 let step t =
+  let backend = Sweep.default_backend () in
   List.iter
     (fun c ->
       List.iter (refresh_halo t) c.halo_inputs;
       let inputs = Array.map (grid_of t) c.kernel.Variant.inputs in
       let output = grid_of t c.kernel.Variant.output in
       (* [create] proved these grids legal once; skip the per-step gate. *)
+      let bound =
+        match backend with
+        | Sweep.Closure_backend -> None
+        | Sweep.Plan_backend ->
+            (* Physical identity of the grid combination: the ping-pong
+               swap changes which grids the buffers resolve to, not the
+               buffers themselves. *)
+            let key =
+              Grid.base_address output
+              :: Array.to_list (Array.map Grid.base_address inputs)
+            in
+            Some
+              (match List.assoc_opt key c.bounds with
+              | Some b -> b
+              | None ->
+                  let b = Lower.bind c.plan ~inputs ~output in
+                  c.bounds <- (key, b) :: c.bounds;
+                  b)
+      in
       ignore
-        (Sweep.run ~check:false c.kernel.Variant.spec ~inputs ~output
+        (Sweep.run ~backend ?bound ~check:false c.kernel.Variant.spec
+           ~inputs ~output
           : Sweep.stats))
     t.kernels;
   (* The variant writes the advanced state into Next_state; swap. *)

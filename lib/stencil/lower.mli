@@ -1,0 +1,74 @@
+(** Lowering stencils to kernel plans and binding plans to grids.
+
+    [lower] turns a [Spec.t] into a layout-independent {!Plan.t}
+    (constant folding, FMA-chain detection, postfix fallback — all
+    value-preserving down to the bit for the engine's finite data).
+    [bind] specialises a plan to concrete grids: per-access row-base
+    tables and last-dimension offset tables, so the engine's inner loop
+    runs without per-point closure dispatch. A [bound] is immutable and
+    can be shared across pool slices; each slice allocates its own
+    {!driver} for mutable scratch. *)
+
+val lower : Spec.t -> Plan.t
+(** Lower a spec (resolved or not — unresolved coefficients become
+    {!Plan.Sym} instructions, refused only at {!bind} time). Never
+    raises on a validated spec. *)
+
+val fingerprint : Spec.t -> string
+(** [(lower spec).fingerprint] — the stable content-addressed kernel
+    digest (spec name excluded) used by the ECM cache, tuner
+    checkpoints and Offsite memoization. *)
+
+val check :
+  Plan.t -> inputs:Yasksite_grid.Grid.t array ->
+  output:Yasksite_grid.Grid.t -> unit
+(** Structural validation mirroring [Compile.check_inputs]: input count
+    equals [n_fields], every grid (and the output) has the plan's rank,
+    and each input's halo covers the accesses to it. Raises
+    [Invalid_argument] with a ["Lower: ..."] message. *)
+
+type bound
+(** A plan specialised to concrete grids: precomputed flat row bases,
+    last-dimension offset tables and raw storage handles. Immutable. *)
+
+val bind :
+  Plan.t -> inputs:Yasksite_grid.Grid.t array ->
+  output:Yasksite_grid.Grid.t -> bound
+(** {!check}, refuse unresolved plans ([Compile.Unresolved_coefficient]),
+    then precompute the addressing tables. *)
+
+val plan_of : bound -> Plan.t
+
+type driver
+(** Per-region mutable scratch over a shared {!bound} (slot row bases,
+    coordinate scratch, the postfix stack). Not thread-safe; allocate
+    one per concurrent region. *)
+
+val driver : bound -> driver
+
+val set_row : driver -> int array -> unit
+(** [set_row drv outer] positions the driver on the row selected by the
+    [rank - 1] leading interior coordinates (empty for rank 1):
+    computes every slot's and the output's flat row base. *)
+
+val eval : driver -> int -> float
+(** Value at last-dimension coordinate [x] of the current row. No
+    bounds checks — see {!store_row}. *)
+
+val out_offset : driver -> int -> int
+(** Flat element offset of the output point at [x]. *)
+
+val out_addr : driver -> int -> int
+(** Virtual byte address of the output point at [x] (for tracing). *)
+
+val read_addr : driver -> int -> int -> int
+(** [read_addr drv slot x]: virtual byte address of access-table entry
+    [slot] at [x], in the plan's canonical access order. *)
+
+val store_row : driver -> int -> int -> unit
+(** [store_row drv xb xe]: evaluate and store every point of the
+    current row with [xb <= x < xe] — the untraced hot path: one
+    monomorphic loop, row bases hoisted, the output index advanced
+    incrementally on unit-stride layouts. No bounds checks: the caller
+    must have gated the region (legal interior regions are always safe
+    because grid left padding covers the halo). *)

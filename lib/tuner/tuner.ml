@@ -1,6 +1,7 @@
 module Machine = Yasksite_arch.Machine
 module Spec = Yasksite_stencil.Spec
 module Analysis = Yasksite_stencil.Analysis
+module Lower = Yasksite_stencil.Lower
 module Config = Yasksite_ecm.Config
 module Model = Yasksite_ecm.Model
 module Advisor = Yasksite_ecm.Advisor
@@ -72,12 +73,14 @@ let tune_analytic ?(cache = Cache.shared) ?pool ?(clock = Clock.system)
 
 (* Checkpoints bind to the full identity of a sweep: a file written for a
    different machine, kernel, grid, space or fault seed loads as empty.
-   [checkpoint_scheme] names the fault/jitter-stream derivation; it is
-   bumped whenever that derivation changes (scheme 2: per-candidate
-   indexed streams) so checkpoints written under an older regime miss
-   instead of silently mixing candidates drawn from two different
-   streams. *)
-let checkpoint_scheme = 2
+   The kernel is identified by its plan fingerprint (content-addressed:
+   resumes survive renames but miss on any behavioural change to the
+   expression). [checkpoint_scheme] names the fault/jitter-stream and
+   key derivation; it is bumped whenever either changes (scheme 2:
+   per-candidate indexed streams; scheme 3: plan-fingerprint kernel
+   identity) so checkpoints written under an older regime miss instead
+   of silently mixing. *)
+let checkpoint_scheme = 3
 
 let checkpoint_key m spec ~dims ~threads ~space ~(faults : Plan.t) =
   let dims_s =
@@ -87,8 +90,8 @@ let checkpoint_key m spec ~dims ~threads ~space ~(faults : Plan.t) =
   Digest.to_hex
     (Digest.string
        (Printf.sprintf "scheme=%d|%s|%s|%s|t=%d|seed=%d|%s" checkpoint_scheme
-          m.Machine.name spec.Spec.name dims_s threads faults.Plan.seed
-          space_s))
+          m.Machine.name (Lower.fingerprint spec) dims_s threads
+          faults.Plan.seed space_s))
 
 (* Jitter streams are derived from a seed decorrelated from the fault
    seed so backoff-delay sampling never perturbs fault outcomes. *)

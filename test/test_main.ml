@@ -4,6 +4,7 @@ let () =
       ("arch", Test_arch.suite);
       ("grid", Test_grid.suite);
       ("stencil", Test_stencil.suite);
+      ("plan", Test_plan.suite);
       ("cachesim", Test_cachesim.suite);
       ("ecm", Test_ecm.suite);
       ("engine", Test_engine.suite);

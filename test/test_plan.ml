@@ -1,0 +1,329 @@
+(* The kernel-plan IR and the plan execution backend.
+
+   The contract under test: lowering a resolved stencil to a flat plan
+   and sweeping it with the plan driver is *bit-identical* to the legacy
+   closure-tree backend, across ranks, layouts, blocking, wavefronts and
+   both body shapes (detected linear combination and postfix fallback).
+   Plus the satellite coverage: the [Compile.check_inputs] /
+   [Lower.check] error paths on both backends, and the fingerprint
+   contract that keys the ECM cache and tuner checkpoints. *)
+
+module Grid = Yasksite_grid.Grid
+module Machine = Yasksite_arch.Machine
+module Hierarchy = Yasksite_cachesim.Hierarchy
+module Spec = Yasksite_stencil.Spec
+module Analysis = Yasksite_stencil.Analysis
+module Suite = Yasksite_stencil.Suite
+module Gen = Yasksite_stencil.Gen
+module Dsl = Yasksite_stencil.Dsl
+module Compile = Yasksite_stencil.Compile
+module Plan = Yasksite_stencil.Plan
+module Lower = Yasksite_stencil.Lower
+module Config = Yasksite_ecm.Config
+module Sweep = Yasksite_engine.Sweep
+module Wavefront = Yasksite_engine.Wavefront
+module Sanitizer = Yasksite_engine.Sanitizer
+module Prng = Yasksite_util.Prng
+
+let qt = QCheck_alcotest.to_alcotest
+
+let make_grid ?(layout = Grid.Linear) ~halo ~dims seed =
+  let rng = Prng.create ~seed in
+  let g = Grid.create ~halo ~layout ~dims () in
+  Grid.fill g ~f:(fun _ -> Prng.float_range rng ~lo:(-1.0) ~hi:1.0);
+  Grid.halo_dirichlet g 0.25;
+  g
+
+(* Dividing by 1.0 is exact for every float and defeats the
+   linear-combination detector, forcing the postfix-program body. *)
+let force_program spec =
+  Spec.v ~name:spec.Spec.name ~rank:spec.Spec.rank
+    ~n_fields:spec.Spec.n_fields
+    Dsl.(spec.Spec.expr /: c 1.0)
+
+(* One sweep of a random stencil, same grids and config, both backends:
+   outputs must be bit-identical and the stats equal. Exercised over
+   ranks 1..3, both body shapes, folded layouts and spatial blocking. *)
+let sweep_backends_agree ~seed =
+  let rng = Prng.create ~seed in
+  let rank = 1 + Prng.int rng ~bound:3 in
+  let spec = Gen.spec rng ~rank () in
+  let spec = if Prng.int rng ~bound:2 = 0 then force_program spec else spec in
+  let info = Analysis.of_spec spec in
+  let halo = Analysis.halo info in
+  let dims = Array.init rank (fun _ -> 6 + Prng.int rng ~bound:10) in
+  let layout =
+    if Prng.int rng ~bound:2 = 0 then Grid.Linear
+    else begin
+      let f = Array.make rank 1 in
+      f.(rank - 1) <- 2;
+      if rank > 1 then f.(rank - 2) <- 2;
+      Grid.Folded f
+    end
+  in
+  let cfg =
+    let fold = match layout with Grid.Folded f -> Some f | _ -> None in
+    let block =
+      if Prng.int rng ~bound:2 = 0 then begin
+        let b = Array.map (fun d -> 1 + Prng.int rng ~bound:d) dims in
+        b.(0) <- 0;
+        Some b
+      end
+      else None
+    in
+    Config.v ?fold ?block ()
+  in
+  let run backend =
+    let a = make_grid ~layout ~halo ~dims (seed + 1000) in
+    let o = Grid.create ~halo ~layout ~dims () in
+    let s = Sweep.run ~backend ~config:cfg spec ~inputs:[| a |] ~output:o in
+    (o, s)
+  in
+  let o_plan, s_plan = run Sweep.Plan_backend in
+  let o_closure, s_closure = run Sweep.Closure_backend in
+  Grid.max_abs_diff o_plan o_closure = 0.0 && s_plan = s_closure
+
+let plan_backend_matches_closure =
+  QCheck.Test.make ~name:"plan backend bit-reproduces closure backend"
+    ~count:120 QCheck.small_int (fun seed -> sweep_backends_agree ~seed)
+
+(* The same contract through the temporal-blocking path: random
+   wavefront depth and (legal) stagger, per-direction plan reuse. *)
+let wavefront_backends_agree ~seed =
+  let rng = Prng.create ~seed in
+  let rank = 1 + Prng.int rng ~bound:3 in
+  let spec = Gen.spec rng ~rank () in
+  let spec = if Prng.int rng ~bound:2 = 0 then force_program spec else spec in
+  let info = Analysis.of_spec spec in
+  let halo = Analysis.halo info in
+  let dims = Array.init rank (fun _ -> 6 + Prng.int rng ~bound:8) in
+  let steps = 1 + Prng.int rng ~bound:4 in
+  let wf = 2 + Prng.int rng ~bound:3 in
+  let stagger = halo.(0) + 1 + Prng.int rng ~bound:2 in
+  let cfg = Config.v ~wavefront:wf ~wavefront_stagger:stagger () in
+  let run backend =
+    let a = make_grid ~halo ~dims (seed + 1) in
+    let b = make_grid ~halo ~dims (seed + 2) in
+    let final, _ = Wavefront.steps ~backend ~config:cfg spec ~a ~b ~steps in
+    final
+  in
+  Grid.max_abs_diff (run Sweep.Plan_backend) (run Sweep.Closure_backend) = 0.0
+
+let wavefront_backend_parity =
+  QCheck.Test.make ~name:"wavefront agrees across backends" ~count:60
+    QCheck.small_int (fun seed -> wavefront_backends_agree ~seed)
+
+(* Tracing must not perturb results on either backend (both route
+   addresses through the plan's access table). *)
+let traced_backends_agree ~seed =
+  let rng = Prng.create ~seed in
+  let rank = 1 + Prng.int rng ~bound:3 in
+  let spec = Gen.spec rng ~rank () in
+  let info = Analysis.of_spec spec in
+  let halo = Analysis.halo info in
+  let dims = Array.init rank (fun _ -> 6 + Prng.int rng ~bound:8) in
+  let run backend =
+    let a = make_grid ~halo ~dims (seed + 7) in
+    let o = Grid.create ~halo ~dims () in
+    let trace = Hierarchy.create Machine.test_chip in
+    let _ = Sweep.run ~backend ~trace spec ~inputs:[| a |] ~output:o in
+    o
+  in
+  Grid.max_abs_diff (run Sweep.Plan_backend) (run Sweep.Closure_backend) = 0.0
+
+let traced_backend_parity =
+  QCheck.Test.make ~name:"traced sweep agrees across backends" ~count:40
+    QCheck.small_int (fun seed -> traced_backends_agree ~seed)
+
+(* ------------------------------------------------------------------ *)
+(* Plan structure and fingerprints.                                    *)
+
+let heat2 = Suite.resolve_defaults Suite.heat_2d_5pt
+
+let test_groups_detected () =
+  let plan = Lower.lower heat2 in
+  (match plan.Plan.body with
+  | Plan.Groups _ -> ()
+  | Plan.Program _ ->
+      Alcotest.fail "heat 5pt should lower to an FMA-chain (Groups) body");
+  Alcotest.(check bool) "resolved" true (Plan.resolved plan);
+  let info = Analysis.of_spec heat2 in
+  Alcotest.(check int) "one slot per distinct access"
+    (List.length info.Analysis.accesses)
+    (Plan.n_slots plan)
+
+let test_program_fallback () =
+  let spec =
+    Spec.v ~name:"div" ~rank:1 Dsl.(fld [ 0 ] /: (c 2.0 +: fld [ 1 ]))
+  in
+  match (Lower.lower spec).Plan.body with
+  | Plan.Program _ -> ()
+  | Plan.Groups _ -> Alcotest.fail "division should fall back to Program"
+
+let test_fingerprint_ignores_name () =
+  let e = Dsl.(c 0.5 *: (fld [ -1 ] +: fld [ 1 ])) in
+  let a = Spec.v ~name:"a" ~rank:1 e in
+  let b = Spec.v ~name:"b" ~rank:1 e in
+  Alcotest.(check string) "same kernel, same digest" (Lower.fingerprint a)
+    (Lower.fingerprint b);
+  let c' = Spec.v ~name:"a" ~rank:1 Dsl.(c 0.25 *: (fld [ -1 ] +: fld [ 1 ])) in
+  Alcotest.(check bool) "coefficient changes the digest" false
+    (Lower.fingerprint a = Lower.fingerprint c')
+
+let test_fingerprint_matches_plan () =
+  let spec = heat2 in
+  let plan = Lower.lower spec in
+  Alcotest.(check string) "Lower.fingerprint = plan.fingerprint"
+    plan.Plan.fingerprint (Lower.fingerprint spec);
+  Alcotest.(check bool) "digest is hex of fixed width" true
+    (String.length plan.Plan.fingerprint = 32)
+
+let test_unresolved_plan () =
+  let spec = Spec.v ~name:"sym" ~rank:1 Dsl.(p "r" *: fld [ 0 ]) in
+  let plan = Lower.lower spec in
+  Alcotest.(check bool) "symbolic plan is unresolved" false
+    (Plan.resolved plan);
+  (* Still fingerprintable: the digest covers the symbol name. *)
+  let other = Spec.v ~name:"sym" ~rank:1 Dsl.(p "q" *: fld [ 0 ]) in
+  Alcotest.(check bool) "symbol name is part of the digest" false
+    (Lower.fingerprint spec = Lower.fingerprint other);
+  let g = make_grid ~halo:[| 1 |] ~dims:[| 8 |] 11 in
+  let o = Grid.create ~halo:[| 1 |] ~dims:[| 8 |] () in
+  Alcotest.check_raises "bind refuses symbolic plans"
+    (Compile.Unresolved_coefficient "r") (fun () ->
+      ignore (Lower.bind plan ~inputs:[| g |] ~output:o))
+
+(* ------------------------------------------------------------------ *)
+(* Error paths: Compile.check_inputs and Lower.check, and the same
+   violations pushed through Sweep.run on each backend (gates off, so
+   the backend's own validation is what fires).                        *)
+
+let contains = Astring_contains.contains
+
+let raises_invalid ~substr f =
+  match f () with
+  | _ -> Alcotest.failf "expected Invalid_argument (%s)" substr
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message %S mentions %S" msg substr)
+        true (contains msg substr)
+
+let heat1 = Spec.v ~name:"heat1" ~rank:1
+    Dsl.(c 0.25 *: fld [ -1 ] +: (c 0.5 *: fld [ 0 ]) +: (c 0.25 *: fld [ 1 ]))
+
+let wide1 = Spec.v ~name:"wide1" ~rank:1 Dsl.(fld [ -2 ] +: fld [ 2 ])
+
+let test_check_field_count () =
+  let g = make_grid ~halo:[| 1 |] ~dims:[| 8 |] 1 in
+  let o = Grid.create ~halo:[| 1 |] ~dims:[| 8 |] () in
+  raises_invalid ~substr:"field" (fun () ->
+      Compile.check_inputs heat1 ~inputs:[| g; g |]);
+  raises_invalid ~substr:"field" (fun () ->
+      Lower.check (Lower.lower heat1) ~inputs:[| g; g |] ~output:o);
+  raises_invalid ~substr:"field" (fun () ->
+      Sweep.run ~backend:Sweep.Plan_backend ~check:false heat1
+        ~inputs:[| g; g |] ~output:o);
+  raises_invalid ~substr:"field" (fun () ->
+      Sweep.run ~backend:Sweep.Closure_backend ~check:false heat1
+        ~inputs:[| g; g |] ~output:o)
+
+let test_check_rank () =
+  let g1 = make_grid ~halo:[| 1 |] ~dims:[| 8 |] 2 in
+  let heat2s = heat2 in
+  let g2 = make_grid ~halo:[| 1; 1 |] ~dims:[| 8; 8 |] 3 in
+  let o2 = Grid.create ~halo:[| 1; 1 |] ~dims:[| 8; 8 |] () in
+  raises_invalid ~substr:"rank" (fun () ->
+      Compile.check_inputs heat2s ~inputs:[| g1 |]);
+  raises_invalid ~substr:"rank" (fun () ->
+      Lower.check (Lower.lower heat2s) ~inputs:[| g1 |] ~output:o2);
+  (* Output rank is checked too (Compile never sees the output). *)
+  let o1 = Grid.create ~halo:[| 1 |] ~dims:[| 8 |] () in
+  raises_invalid ~substr:"rank" (fun () ->
+      Lower.check (Lower.lower heat2s) ~inputs:[| g2 |] ~output:o1)
+
+let test_check_halo () =
+  let thin = make_grid ~halo:[| 1 |] ~dims:[| 8 |] 4 in
+  let o = Grid.create ~halo:[| 1 |] ~dims:[| 8 |] () in
+  raises_invalid ~substr:"halo" (fun () ->
+      Compile.check_inputs wide1 ~inputs:[| thin |]);
+  raises_invalid ~substr:"halo" (fun () ->
+      Lower.check (Lower.lower wide1) ~inputs:[| thin |] ~output:o);
+  raises_invalid ~substr:"halo" (fun () ->
+      Sweep.run ~backend:Sweep.Plan_backend ~check:false wide1
+        ~inputs:[| thin |] ~output:o);
+  raises_invalid ~substr:"halo" (fun () ->
+      Sweep.run ~backend:Sweep.Closure_backend ~check:false wide1
+        ~inputs:[| thin |] ~output:o)
+
+let test_unresolved_both_backends () =
+  let spec = Spec.v ~name:"sym" ~rank:1 Dsl.(p "r" *: fld [ 0 ]) in
+  let g = make_grid ~halo:[| 1 |] ~dims:[| 8 |] 5 in
+  let o = Grid.create ~halo:[| 1 |] ~dims:[| 8 |] () in
+  List.iter
+    (fun backend ->
+      Alcotest.check_raises
+        (Sweep.backend_name backend ^ " refuses unresolved coefficients")
+        (Compile.Unresolved_coefficient "r") (fun () ->
+          ignore
+            (Sweep.run ~backend ~check:false spec ~inputs:[| g |] ~output:o)))
+    [ Sweep.Plan_backend; Sweep.Closure_backend ]
+
+(* The dynamic sanitizer reaches the same verdict on both backends:
+   an aliased in-place sweep traps YS452 either way. *)
+let test_sanitizer_verdict_parity () =
+  List.iter
+    (fun backend ->
+      let g = make_grid ~halo:[| 1 |] ~dims:[| 12 |] 6 in
+      let san = Sanitizer.create () in
+      let code =
+        try
+          ignore
+            (Sweep.run ~backend ~check:false ~sanitize:san heat1
+               ~inputs:[| g |] ~output:g);
+          None
+        with Sanitizer.Trap t -> Some (Sanitizer.code_of_kind t.Sanitizer.kind)
+      in
+      Alcotest.(check (option string))
+        (Sweep.backend_name backend ^ " traps the aliased sweep")
+        (Some "YS452") code)
+    [ Sweep.Plan_backend; Sweep.Closure_backend ]
+
+(* ------------------------------------------------------------------ *)
+(* Backend selection.                                                  *)
+
+let test_backend_selection () =
+  let original = Sweep.default_backend () in
+  Sweep.set_default_backend Sweep.Closure_backend;
+  Alcotest.(check string) "override to closure" "closure"
+    (Sweep.backend_name (Sweep.default_backend ()));
+  Sweep.set_default_backend Sweep.Plan_backend;
+  Alcotest.(check string) "override to plan" "plan"
+    (Sweep.backend_name (Sweep.default_backend ()));
+  (* Restore whatever the environment selected for this test run. *)
+  Sweep.set_default_backend original
+
+let suite =
+  [ qt plan_backend_matches_closure;
+    qt wavefront_backend_parity;
+    qt traced_backend_parity;
+    Alcotest.test_case "heat 5pt lowers to Groups" `Quick test_groups_detected;
+    Alcotest.test_case "division falls back to Program" `Quick
+      test_program_fallback;
+    Alcotest.test_case "fingerprint ignores the kernel name" `Quick
+      test_fingerprint_ignores_name;
+    Alcotest.test_case "Lower.fingerprint matches the plan" `Quick
+      test_fingerprint_matches_plan;
+    Alcotest.test_case "symbolic plans fingerprint but refuse to bind" `Quick
+      test_unresolved_plan;
+    Alcotest.test_case "field-count mismatch rejected everywhere" `Quick
+      test_check_field_count;
+    Alcotest.test_case "rank mismatch rejected everywhere" `Quick
+      test_check_rank;
+    Alcotest.test_case "insufficient halo rejected everywhere" `Quick
+      test_check_halo;
+    Alcotest.test_case "unresolved coefficient rejected on both backends"
+      `Quick test_unresolved_both_backends;
+    Alcotest.test_case "sanitizer verdict identical across backends" `Quick
+      test_sanitizer_verdict_parity;
+    Alcotest.test_case "backend override and restore" `Quick
+      test_backend_selection ]
