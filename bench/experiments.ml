@@ -966,7 +966,120 @@ let e16 () =
       Out_channel.output_string oc json);
   Printf.printf "wrote bench/BENCH_plan.json\n"
 
+(* E17 — what a safety certificate buys: wall clock of the sanitized
+   sweep on the fully checked path (per-point shadow reads/writes) vs
+   the certified fast path (shadow state bulk-committed), against the
+   unsanitized sweep as the zero-overhead baseline. Outputs of all
+   three paths are asserted bit-identical. Writes
+   bench/BENCH_certify.json. *)
+
+let e17 () =
+  header "e17" "Checked vs certified sanitized sweeps (BENCH_certify.json)";
+  let module Sweep = Engine.Sweep in
+  let module Sanitizer = Engine.Sanitizer in
+  let module Cert = Engine.Cert in
+  let module Certify = Engine.Certify in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let case (spec, dims, reps) =
+    let spec = Stencil.Suite.resolve_defaults spec in
+    let info = Stencil.Analysis.of_spec spec in
+    let halo = Stencil.Analysis.halo info in
+    let prng = Yasksite_util.Prng.create ~seed:17 in
+    let a = Grid.create ~halo ~dims () in
+    Grid.fill a ~f:(fun _ ->
+        Yasksite_util.Prng.float_range prng ~lo:(-1.0) ~hi:1.0);
+    Grid.halo_dirichlet a 0.25;
+    (* Each rep gets a fresh sanitizer (shadow state is per pass
+       sequence) but shares grids; best-of-3 sheds scheduler noise. *)
+    let run ~mode =
+      let o = Grid.create ~halo ~dims () in
+      let best = ref infinity in
+      for _ = 1 to 3 do
+        Cert.clear ();
+        (match mode with
+        | `Certified ->
+            ignore
+              (Certify.ensure spec ~inputs:[| a |] ~output:o
+                 ~config:Config.default
+                : bool)
+        | `Checked | `Baseline -> ());
+        let (_ : int), s =
+          time (fun () ->
+              for _ = 1 to reps do
+                let sanitize =
+                  match mode with
+                  | `Baseline -> None
+                  | `Checked | `Certified -> Some (Sanitizer.create ())
+                in
+                ignore
+                  (Sweep.run ?sanitize spec ~inputs:[| a |] ~output:o
+                    : Sweep.stats)
+              done;
+              0)
+        in
+        if s < !best then best := s
+      done;
+      let hits = Cert.fast_path_hits () in
+      (o, !best, hits)
+    in
+    let o_base, base_s, _ = run ~mode:`Baseline in
+    let o_checked, checked_s, checked_hits = run ~mode:`Checked in
+    let o_cert, cert_s, cert_hits = run ~mode:`Certified in
+    assert (checked_hits = 0);
+    assert (cert_hits = reps);
+    let identical =
+      Grid.max_abs_diff o_base o_checked = 0.0
+      && Grid.max_abs_diff o_base o_cert = 0.0
+    in
+    let points = Array.fold_left ( * ) 1 dims in
+    Printf.printf
+      "%-14s %-12s %7d pts x%d: plain %.4f s, checked %.4f s (%.2fx), \
+       certified %.4f s (%.2fx, outputs %s)\n"
+      spec.Stencil.Spec.name
+      (String.concat "x" (Array.to_list (Array.map string_of_int dims)))
+      points reps base_s checked_s (checked_s /. base_s) cert_s
+      (cert_s /. base_s)
+      (if identical then "bit-identical" else "DIFFER");
+    (spec, dims, points, reps, base_s, checked_s, cert_s, identical)
+  in
+  let cases =
+    List.map case
+      [ (Stencil.Suite.heat_2d_5pt, [| 384; 384 |], 6);
+        (Stencil.Suite.heat_3d_7pt, [| 64; 64; 64 |], 4) ]
+  in
+  let json =
+    let case_json (spec, dims, points, reps, base_s, checked_s, cert_s, id) =
+      Printf.sprintf
+        "    {\n\
+        \      \"stencil\": \"%s\",\n\
+        \      \"dims\": [%s],\n\
+        \      \"points\": %d,\n\
+        \      \"reps\": %d,\n\
+        \      \"plain_s\": %.6f,\n\
+        \      \"checked_s\": %.6f,\n\
+        \      \"certified_s\": %.6f,\n\
+        \      \"checked_overhead\": %.2f,\n\
+        \      \"certified_overhead\": %.2f,\n\
+        \      \"certified_speedup_vs_checked\": %.2f,\n\
+        \      \"bit_identical\": %b\n\
+        \    }"
+        spec.Stencil.Spec.name
+        (String.concat ", " (Array.to_list (Array.map string_of_int dims)))
+        points reps base_s checked_s cert_s (checked_s /. base_s)
+        (cert_s /. base_s) (checked_s /. cert_s) id
+    in
+    Printf.sprintf "{\n  \"sweeps\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" (List.map case_json cases))
+  in
+  Out_channel.with_open_text "bench/BENCH_certify.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "wrote bench/BENCH_certify.json\n"
+
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
             ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-            ("e15", e15); ("e16", e16) ]
+            ("e15", e15); ("e16", e16); ("e17", e17) ]

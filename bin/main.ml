@@ -367,6 +367,10 @@ let run_cmd =
       stagger domains sanitize backend =
     protect @@ fun () ->
     Option.iter Engine.Sweep.set_default_backend backend;
+    (* Eager backend validation: a bad YASKSITE_BACKEND fails here with
+       the one-line legal-backends message instead of mid-measurement.
+       (--backend, validated by the parser, overrides the variable.) *)
+    ignore (Engine.Sweep.default_backend () : Engine.Sweep.backend);
     let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
     let config =
       or_die
@@ -434,6 +438,10 @@ let tune_cmd =
       fault_rate noise retries budget resume domains sanitize backend =
     protect @@ fun () ->
     Option.iter Engine.Sweep.set_default_backend backend;
+    (* Eager backend validation: a bad YASKSITE_BACKEND fails here with
+       the one-line legal-backends message instead of mid-measurement.
+       (--backend, validated by the parser, overrides the variable.) *)
+    ignore (Engine.Sweep.default_backend () : Engine.Sweep.backend);
     let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
     with_domains domains @@ fun pool ->
     let cache = Model_cache.shared in
@@ -652,6 +660,17 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "schedule" ] ~doc)
   in
+  let plan_arg =
+    let doc =
+      "Also run the plan-IR dataflow verifier (YS5xx) on each kernel \
+       input: the lowered kernel plan is checked for access-table bounds \
+       safety, stack safety, dead loads and agreement of its static \
+       FLOP/byte counts with the kernel analysis. Bounds are judged \
+       against grids allocated with the kernel's own halo at --dims \
+       (proxy extents when the ranks differ)."
+    in
+    Arg.(value & flag & info [ "plan" ] ~doc)
+  in
   let format_arg =
     let doc =
       "Output format: $(b,text) (compiler-style, default) or $(b,json) \
@@ -662,8 +681,8 @@ let lint_cmd =
       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
       & info [ "format" ] ~docv:"FMT" ~doc)
   in
-  let run machine dims rank rules quiet schedule format threads block fold
-      wavefront nt stagger inputs =
+  let run machine dims rank rules quiet schedule plan format threads block
+      fold wavefront nt stagger inputs =
     protect @@ fun () ->
     if rules then begin
       List.iter
@@ -725,6 +744,26 @@ let lint_cmd =
           ~origin:(origin ^ " (schedule)")
           (Lint.Schedule.schedule (Stencil.Analysis.of_spec spec) ~dims
              config)
+      end;
+      if plan then begin
+        let info = Stencil.Analysis.of_spec spec in
+        let p = Stencil.Lower.lower spec in
+        let halo = Stencil.Analysis.halo info in
+        let krank = spec.Stencil.Spec.rank in
+        (* Bounds are extent-independent (|offset| <= halo per dim), so
+           proxy extents are as good as --dims when the ranks differ. *)
+        let gdims =
+          if Array.length dims = krank then dims
+          else Array.init krank (fun i -> max 8 ((2 * halo.(i)) + 1))
+        in
+        let space = Grid.fresh_space () in
+        let mk () = Grid.create ~space ~halo ~dims:gdims () in
+        let inputs =
+          Array.init spec.Stencil.Spec.n_fields (fun _ -> mk ())
+        in
+        report
+          ~origin:(origin ^ " (plan)")
+          (Lint.Plan.check ~info p ~inputs ~output:(mk ()))
       end
     in
     let lint_kernel_source ?src_origin ~origin src =
@@ -779,8 +818,8 @@ let lint_cmd =
              before any model run (exit 1 on errors)")
     Term.(
       const run $ machine_arg $ dims_arg $ rank_arg $ rules_arg $ quiet_arg
-      $ schedule_arg $ format_arg $ threads_arg $ block_arg $ fold_arg
-      $ wavefront_arg $ nt_arg $ stagger_arg $ inputs_arg)
+      $ schedule_arg $ plan_arg $ format_arg $ threads_arg $ block_arg
+      $ fold_arg $ wavefront_arg $ nt_arg $ stagger_arg $ inputs_arg)
 
 let methods_cmd =
   let pde_arg =

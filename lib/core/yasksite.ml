@@ -30,6 +30,8 @@ module Engine = struct
   module Wavefront = Yasksite_engine.Wavefront
   module Measure = Yasksite_engine.Measure
   module Sanitizer = Yasksite_engine.Sanitizer
+  module Cert = Yasksite_engine.Cert
+  module Certify = Yasksite_engine.Certify
 end
 
 module Tuner = Yasksite_tuner.Tuner

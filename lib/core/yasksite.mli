@@ -73,6 +73,15 @@ module Engine : sig
   module Sanitizer = Yasksite_engine.Sanitizer
   (** Shadow-memory sweep sanitizer (YS45x traps): the dynamic
       counterpart of the {!Lint.Schedule} analyzer. *)
+
+  module Cert = Yasksite_engine.Cert
+  (** Safety-certificate store: (plan × layout × halo × blocking)
+      tuples proven safe by the YS5xx verifier select the sanitizer's
+      unchecked fast path. *)
+
+  module Certify = Yasksite_engine.Certify
+  (** Certification pipeline: static YS5xx proof plus YS511 traced
+      cross-validation, producing {!Cert} entries. *)
 end
 
 module Tuner = Yasksite_tuner.Tuner

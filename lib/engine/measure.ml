@@ -150,6 +150,13 @@ let stencil_sweep ?(clock = Clock.system) ?backend ?sanitize (m : Machine.t)
      bug and aborts the measurement loudly. *)
   let sanitizer = if sanitize then Some (Sanitizer.create ()) else None in
   let plan = Lower.lower spec in
+  (* Sanitized measurements try to earn a safety certificate up front:
+     a hit lets every sweep below run the unchecked fast path, so the
+     sanitizer's per-point overhead is paid once (on the tiny proxy
+     grids) instead of per measurement. An uncertifiable tuple simply
+     keeps the checked path — certification never rejects work here. *)
+  if sanitize && Cert.enabled () then
+    ignore (Certify.ensure ~machine:m ~plan spec ~inputs ~output ~config);
   let stats =
     execute ?backend ~plan spec ~inputs ~output ~config ~vec_unit ~trace
       ~sanitize:sanitizer

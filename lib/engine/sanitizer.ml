@@ -308,6 +308,34 @@ let writer sl =
       end
     end
 
+(* Certified fast path: bulk-commit the shadow state a fully checked
+   pass would have produced over the interior box [lo, hi). The engine
+   calls this instead of per-point [writer] updates when a safety
+   certificate proves the plan cannot trap, so version bookkeeping
+   still composes: a later *checked* pass over the same grids sees
+   exactly the versions and fronts a checked execution would have
+   left. Writer ids collapse to slice 0 — overlap detection is the
+   per-point check the certificate licensed skipping. *)
+let commit_pass pass ~lo ~hi =
+  let s = pass.out_shadow in
+  let g = s.sg in
+  let rank = Array.length lo in
+  let coord = Array.make rank 0 in
+  let rec go d =
+    if d = rank then begin
+      let off = Grid.offset_of g coord in
+      s.version.(off) <- pass.write_version;
+      s.writer.(off) <- 0;
+      s.front.(off) <- pass.front_id
+    end
+    else
+      for c = lo.(d) to hi.(d) - 1 do
+        coord.(d) <- c;
+        go (d + 1)
+      done
+  in
+  go 0
+
 let end_sweep pass =
   let s = pass.out_shadow in
   let missing = ref 0 in

@@ -109,6 +109,15 @@ val check_fold : t -> fold:int array option -> Grid.t -> unit
 (** Trap (YS456) if the schedule's claimed fold does not match the
     grid's layout. *)
 
+val commit_pass : pass -> lo:int array -> hi:int array -> unit
+(** Certified fast path: bulk-commit the shadow state a fully checked
+    pass would have produced over the interior box [\[lo, hi)] — every
+    cell set to the pass's write version, writer slice 0, the pass's
+    front id. Called by the engine in place of per-point {!writer}
+    updates when a safety certificate proves the plan cannot trap;
+    keeps version bookkeeping composing with later checked passes
+    ({!end_sweep} coverage included). *)
+
 val end_sweep : pass -> unit
 (** Verify every interior output cell was written exactly once (YS454
     for gaps; overlaps already trapped at write time) and commit the

@@ -30,19 +30,33 @@ let backend_override = ref None
 
 let set_default_backend b = backend_override := Some b
 
+let legal_backends = [ ("plan", Plan_backend); ("closure", Closure_backend) ]
+
+let backend_of_string s =
+  match List.assoc_opt (String.lowercase_ascii (String.trim s)) legal_backends with
+  | Some b -> Ok b
+  | None ->
+      Error
+        (Printf.sprintf "unknown backend %S: legal backends are %s" s
+           (String.concat ", "
+              (List.map (fun (n, _) -> Printf.sprintf "%S" n) legal_backends)))
+
+(* Precedence: a [set_default_backend] override (the CLI applies
+   --backend through it) beats the YASKSITE_BACKEND environment
+   variable, which beats the built-in plan default. An unrecognised
+   environment value fails eagerly here — the first sweep (or the
+   CLI's startup validation) reports the one-line error instead of a
+   late, unhelpful failure mid-run. *)
 let default_backend () =
   match !backend_override with
   | Some b -> b
   | None -> (
       match Sys.getenv_opt "YASKSITE_BACKEND" with
-      | None | Some "" | Some "plan" -> Plan_backend
-      | Some "closure" -> Closure_backend
-      | Some other ->
-          invalid_arg
-            (Printf.sprintf
-               "Sweep: YASKSITE_BACKEND must be \"plan\" or \"closure\", \
-                got %S"
-               other))
+      | None | Some "" -> Plan_backend
+      | Some s -> (
+          match backend_of_string s with
+          | Ok b -> b
+          | Error msg -> invalid_arg ("Sweep: YASKSITE_BACKEND: " ^ msg)))
 
 let backend_name = function
   | Plan_backend -> "plan"
@@ -308,6 +322,32 @@ let run ?pool ?backend ?plan ?bound ?trace ?sanitize ?(check = true) ?config
     Lint.gate ~context:"Sweep.run"
       (Schedule_lint.grids (Analysis.of_spec spec) cfg ~inputs ~output);
   let backend = match backend with Some b -> b | None -> default_backend () in
+  (* Lower once when the plan backend needs a bound or a certificate
+     lookup needs the fingerprint. *)
+  let plan =
+    match plan with
+    | Some _ -> plan
+    | None ->
+        if backend = Plan_backend
+           || (sanitize <> None && check && Cert.enabled ())
+        then Some (Lower.lower spec)
+        else None
+  in
+  (* Certified fast path: a sanitized, gate-checked sweep whose
+     (plan x layout x halo x blocking) tuple holds a safety certificate
+     skips the per-point shadow checks — the certificate proves no
+     access can escape and the partition covers by construction. The
+     pass is still opened and bulk-committed so version bookkeeping
+     composes with later checked passes. [check:false] (the
+     adversarial mode) never takes the fast path. *)
+  let certified =
+    match (sanitize, plan) with
+    | Some _, Some p when check && Cert.enabled () ->
+        let hit = Cert.mem (Cert.key ~plan:p ~inputs ~output ~config:cfg) in
+        if hit then Cert.record_fast_path ();
+        hit
+    | _ -> false
+  in
   let pass =
     match sanitize with
     | None -> None
@@ -329,7 +369,10 @@ let run ?pool ?backend ?plan ?bound ?trace ?sanitize ?(check = true) ?config
         let p = match plan with Some p -> p | None -> Lower.lower spec in
         Some (Lower.bind p ~inputs ~output)
   in
-  let slice_of s = Option.map (fun p -> Sanitizer.slice p s) pass in
+  let slice_of s =
+    if certified then None
+    else Option.map (fun p -> Sanitizer.slice p s) pass
+  in
   let stats =
     match pool with
     | None ->
@@ -389,5 +432,12 @@ let run ?pool ?backend ?plan ?bound ?trace ?sanitize ?(check = true) ?config
         Array.fold_left add_stats zero_stats out
       end
   in
-  (match pass with Some p -> Sanitizer.end_sweep p | None -> ());
+  (match pass with
+  | Some p ->
+      if certified then begin
+        let dims = Grid.dims output in
+        Sanitizer.commit_pass p ~lo:(Array.map (fun _ -> 0) dims) ~hi:dims
+      end;
+      Sanitizer.end_sweep p
+  | None -> ());
   stats

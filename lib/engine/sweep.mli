@@ -33,11 +33,18 @@ val add_stats : stats -> stats -> stats
 
 type backend = Plan_backend | Closure_backend
 
+val backend_of_string : string -> (backend, string) result
+(** Parse a backend name (case-insensitive, whitespace-trimmed). The
+    error is a one-line message listing the legal backends — used for
+    eager validation of [YASKSITE_BACKEND] and the CLI's [--backend]. *)
+
 val default_backend : unit -> backend
-(** The backend used when none is passed explicitly: the value given to
-    {!set_default_backend} if any, else the [YASKSITE_BACKEND]
-    environment variable (["plan"], ["closure"], or unset/empty for
-    plan). Raises [Invalid_argument] on an unrecognised value. *)
+(** The backend used when none is passed explicitly. Precedence:
+    the {!set_default_backend} override (the CLI applies [--backend]
+    through it) beats the [YASKSITE_BACKEND] environment variable,
+    which beats the built-in plan default. Raises [Invalid_argument]
+    with the {!backend_of_string} message on an unrecognised
+    environment value — eagerly, at the first consultation. *)
 
 val set_default_backend : backend -> unit
 (** Process-wide override of the environment default (the CLI's
@@ -95,7 +102,16 @@ val run :
     [Lint.Gate_error] on violations. [sanitize] threads every access
     through a shadow-memory {!Sanitizer} pass — pass [~check:false]
     with a sanitizer to demonstrate dynamically why a gated schedule is
-    illegal. *)
+    illegal.
+
+    A sanitized, gate-checked sweep whose (plan × layout × halo ×
+    blocking) tuple holds a safety certificate (see {!Cert} and
+    {!Certify}) runs the {e certified fast path}: per-point shadow
+    checks are skipped and the pass's shadow state is bulk-committed
+    ({!Sanitizer.commit_pass}), recovering the sanitizer's overhead at
+    zero traps while keeping version bookkeeping composable.
+    Uncertified plans, [~check:false] runs, and runs under
+    [YASKSITE_NO_CERT] keep the fully checked path. *)
 
 val run_region :
   ?backend:backend ->

@@ -46,6 +46,23 @@ let steps ?backend ?plan ?trace ?sanitize ?(check = true)
   and bound_ba =
     lazy (Lower.bind (Lazy.force plan) ~inputs:[| b |] ~output:a)
   in
+  (* Certified fast path: a ping-pong pass alternates (a->b) and (b->a)
+     tuples, so both directions must hold a certificate before any
+     per-point shadow checks may be skipped. [check] is required — the
+     certificate only proves the plan's accesses safe; aliasing, halo
+     and fold legality come from the YS4xx gate above. *)
+  let certified =
+    match sanitize with
+    | Some _ when check && Cert.enabled () ->
+        let p = Lazy.force plan in
+        let hit =
+          Cert.mem (Cert.key ~plan:p ~inputs:[| a |] ~output:b ~config)
+          && Cert.mem (Cert.key ~plan:p ~inputs:[| b |] ~output:a ~config)
+        in
+        if hit then Cert.record_fast_path ();
+        hit
+    | _ -> false
+  in
   let stats = ref Sweep.zero_stats in
   let total = ref 0 in
   (* The sanitizer's view: the state in [a] is whatever version it
@@ -73,14 +90,18 @@ let steps ?backend ?plan ?trace ?sanitize ?(check = true)
     plo.(0) <- z;
     phi.(0) <- z + 1;
     let sanitize =
-      Option.map
-        (fun san ->
+      Option.bind sanitize (fun san ->
           let pass =
             Sanitizer.begin_wavefront_step san ~src ~dst
               ~read_version:(base_version + abs_t) ~front
           in
-          Sanitizer.slice pass 0)
-        sanitize
+          if certified then begin
+            (* Skip per-point checks; bulk-commit this plane's shadow
+               state so later steps still see exact versions/fronts. *)
+            Sanitizer.commit_pass pass ~lo:plo ~hi:phi;
+            None
+          end
+          else Some (Sanitizer.slice pass 0))
     in
     let bound =
       match backend with

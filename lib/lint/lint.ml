@@ -3,6 +3,7 @@ module Kernel = Kernel_lint
 module Machine = Machine_lint
 module Config = Config_lint
 module Schedule = Schedule_lint
+module Plan = Plan_lint
 
 let rules =
   [ ("YS100", Diagnostic.Error, "kernel source does not parse");
@@ -63,7 +64,27 @@ let rules =
     ("YS455", Diagnostic.Error, "sanitizer: read of a stale or \
                                  uninitialised halo");
     ("YS456", Diagnostic.Error, "sanitizer: executed layout differs from \
-                                 the scheduled fold") ]
+                                 the scheduled fold");
+    ("YS500", Diagnostic.Error, "plan references a slot or field outside \
+                                 the access table");
+    ("YS501", Diagnostic.Error, "plan access escapes the allocation \
+                                 (offset exceeds the halo)");
+    ("YS502", Diagnostic.Error, "plan program is not stack-safe \
+                                 (underflow or wrong declared depth)");
+    ("YS503", Diagnostic.Warning, "plan access-table slot is never read \
+                                   (dead load)");
+    ("YS504", Diagnostic.Warning, "duplicate plan access-table entries");
+    ("YS505", Diagnostic.Error, "plan program leaves no result or dead \
+                                 values on the stack");
+    ("YS506", Diagnostic.Error, "plan references an unresolved symbolic \
+                                 coefficient");
+    ("YS507", Diagnostic.Error, "plan divides by a provably zero operand");
+    ("YS508", Diagnostic.Warning, "provably-zero plan arithmetic (dead \
+                                   term or group)");
+    ("YS510", Diagnostic.Error, "plan FLOP/byte counts disagree with the \
+                                 kernel analysis");
+    ("YS511", Diagnostic.Error, "certification: traced traffic disagrees \
+                                 with the certified counts") ]
 
 let exit_code = Diagnostic.exit_code
 

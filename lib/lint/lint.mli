@@ -12,6 +12,7 @@ module Kernel = Kernel_lint
 module Machine = Machine_lint
 module Config = Config_lint
 module Schedule = Schedule_lint
+module Plan = Plan_lint
 
 val rules : (string * Diagnostic.severity * string) list
 (** The full rule table (code, default severity, one-line summary) —

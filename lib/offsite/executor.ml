@@ -110,7 +110,15 @@ let create (pde : Pde.t) (variant : Variant.t) =
         ~context:
           (Printf.sprintf "Offsite.Executor.create: kernel %s"
              c.kernel.Variant.spec.Yasksite_stencil.Spec.name)
-        (Lint.Schedule.grids info Config.default ~inputs ~output))
+        (Lint.Schedule.grids info Config.default ~inputs ~output);
+      (* And the lowered plan itself: the YS5xx dataflow verifier proves
+         the per-step sweeps' access tables in-bounds and the kernel
+         bodies stack-safe, since [step] runs them with [~check:false]. *)
+      Lint.gate
+        ~context:
+          (Printf.sprintf "Offsite.Executor.create: kernel %s (plan)"
+             c.kernel.Variant.spec.Yasksite_stencil.Spec.name)
+        (Lint.Plan.check ~info c.plan ~inputs ~output))
     kernels;
   t
 

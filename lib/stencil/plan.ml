@@ -51,15 +51,20 @@ type t = {
   accesses : Expr.access array;
   body : body;
   fingerprint : string;
+  resolved : bool;
 }
 
 let n_slots t = Array.length t.accesses
 
-let resolved t =
-  match t.body with
+(* Memoized at construction ([v]); [resolved] sits on hot paths (every
+   sweep gate, every ECM lookup), so it must not rescan the body. *)
+let resolved_of body =
+  match body with
   | Groups _ -> true
   | Program { code; _ } ->
       not (Array.exists (function Sym _ -> true | _ -> false) code)
+
+let resolved t = t.resolved
 
 (* Canonical rendering for fingerprinting. Floats use %h so every
    representable coefficient value is distinguished; the spec's name is
@@ -107,7 +112,10 @@ let render b t =
         code
 
 let fingerprint_of ~name ~rank ~n_fields ~accesses ~body =
-  let t = { name; rank; n_fields; accesses; body; fingerprint = "" } in
+  let t =
+    { name; rank; n_fields; accesses; body; fingerprint = "";
+      resolved = false }
+  in
   let b = Buffer.create 256 in
   render b t;
   Digest.to_hex (Digest.string (Buffer.contents b))
@@ -118,7 +126,8 @@ let v ~name ~rank ~n_fields ~accesses ~body =
     n_fields;
     accesses;
     body;
-    fingerprint = fingerprint_of ~name ~rank ~n_fields ~accesses ~body }
+    fingerprint = fingerprint_of ~name ~rank ~n_fields ~accesses ~body;
+    resolved = resolved_of body }
 
 let describe t =
   match t.body with

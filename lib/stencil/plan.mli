@@ -46,6 +46,9 @@ type t = {
           order) — shared by evaluation, tracing and the sanitizer *)
   body : body;
   fingerprint : string;
+  resolved : bool;
+      (** memoized at construction: false iff the body contains a
+          {!Sym}. Use the {!val-resolved} accessor. *)
 }
 
 val v :
@@ -57,7 +60,8 @@ val n_slots : t -> int
 (** Number of access-table entries. *)
 
 val resolved : t -> bool
-(** False iff the body still contains a {!Sym} (unresolved coefficient). *)
+(** False iff the body still contains a {!Sym} (unresolved coefficient).
+    Memoized at construction — O(1), safe on hot paths. *)
 
 val fingerprint_of :
   name:string -> rank:int -> n_fields:int -> accesses:Expr.access array ->

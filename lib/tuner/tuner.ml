@@ -40,6 +40,14 @@ let tune_analytic ?(cache = Cache.shared) ?pool ?(clock = Clock.system)
   let t0 = Clock.now clock in
   Lint.gate ~context:"Tuner.tune_analytic" (Lint.Kernel.spec spec);
   let info = Analysis.of_spec spec in
+  (* The lowered plan is what every measurement below executes; a plan
+     failing the YS5xx dataflow verifier (malformed body, counts
+     disagreeing with the analysis the model is fed) would poison every
+     prediction, so it is refused before any evaluation. Bounds (YS501)
+     need concrete grids and are checked by Measure's sweeps. *)
+  let plan = Lower.lower spec in
+  Lint.gate ~context:"Tuner.tune_analytic"
+    (Lint.Plan.structure plan @ Lint.Plan.counts_agree plan info);
   (* Schedule-legality pruning happens before any model evaluation:
      illegal candidates are never scored, and their count is reported. *)
   let full = Advisor.space m ~dims ~threads ~rank:spec.Spec.rank in
@@ -103,6 +111,11 @@ let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
   let t0 = Clock.now clock in
   Lint.gate ~context:"Tuner.tune_empirical" (Lint.Kernel.spec spec);
   let info = Analysis.of_spec spec in
+  (* Same YS5xx plan gate as [tune_analytic]: refuse a malformed or
+     miscounted kernel plan before any candidate is measured. *)
+  let plan_gate = Lower.lower spec in
+  Lint.gate ~context:"Tuner.tune_empirical"
+    (Lint.Plan.structure plan_gate @ Lint.Plan.counts_agree plan_gate info);
   (* User-supplied spaces are gated; advisor-generated candidates are the
      model's own business (it ranks bad ones down rather than refusing). *)
   (match space with

@@ -14,5 +14,6 @@ let () =
       ("ode", Test_ode.suite);
       ("offsite", Test_offsite.suite);
       ("lint", Test_lint.suite);
+      ("plan_lint", Test_plan_lint.suite);
       ("schedule", Test_schedule.suite);
       ("core", Test_core.suite) ]
