@@ -1079,7 +1079,208 @@ let e17 () =
       Out_channel.output_string oc json);
   Printf.printf "wrote bench/BENCH_certify.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* E18 — persistent store: warm starts, corruption, degraded mode.
+   A second process (simulated by a fresh model cache on the same store
+   root) warm-starts the analytic ranking from disk; an adversarially
+   corrupted root is detected by [store verify] and only costs
+   recomputation; an unusable root leaves results bit-identical to a
+   store-less run. Writes bench/BENCH_store.json. *)
+
+let e18 () =
+  header "e18"
+    "Persistent tuning store: warm start, corruption, degraded mode \
+     (BENCH_store.json)";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        Unix.rmdir path
+    | _ -> Unix.unlink path
+    | exception Unix.Unix_error _ -> ()
+  in
+  let entry_files root =
+    let acc = ref [] in
+    let rec walk dir =
+      match Sys.readdir dir with
+      | names ->
+          Array.iter
+            (fun n ->
+              let p = Filename.concat dir n in
+              if Sys.is_directory p then walk p
+              else if not (String.length n > 0 && n.[0] = '.') then
+                acc := p :: !acc)
+            names
+      | exception Sys_error _ -> ()
+    in
+    walk (Filename.concat root "objects");
+    List.sort compare !acc
+  in
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "yasksite-bench-store-%d" (Unix.getpid ()))
+  in
+  rm_rf root;
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let spec = Stencil.Suite.resolve_defaults Stencil.Suite.heat_3d_7pt in
+  let info = Stencil.Analysis.of_spec spec in
+  let dims = [| 64; 64; 64 |] in
+  let threads = 8 in
+  (* Store-less baseline: what every degraded mode must reproduce. *)
+  let base_cache = Model_cache.create () in
+  let ranked_base =
+    Advisor.rank_all ~cache:base_cache clx info ~dims ~threads
+  in
+  (* Cold: fresh cache, fresh root — every prediction is computed and
+     spilled through the store. *)
+  let s_cold = Store.open_root root in
+  let cold_cache = Model_cache.create () in
+  Model_cache.attach_store cold_cache s_cold;
+  let ranked_cold, cold_s =
+    time (fun () -> Advisor.rank_all ~cache:cold_cache clx info ~dims ~threads)
+  in
+  let cold_cs = Model_cache.stats cold_cache in
+  (* Warm from disk: a fresh cache on the same root simulates a second
+     process — memory is cold, the store serves every miss. *)
+  let s_warm = Store.open_root root in
+  let warm_cache = Model_cache.create () in
+  Model_cache.attach_store warm_cache s_warm;
+  let ranked_warm, warm_s =
+    time (fun () -> Advisor.rank_all ~cache:warm_cache clx info ~dims ~threads)
+  in
+  let warm_cs = Model_cache.stats warm_cache in
+  let cold_entries = (Store.usage s_cold).Store.entries in
+  let ranking_identical =
+    ranked_base = ranked_cold && ranked_cold = ranked_warm
+  in
+  Printf.printf
+    "analytic ranking (%d candidates):\n\
+    \  cold, empty store   %.4f s  (%d store misses, %d entries spilled)\n\
+    \  warm from disk      %.4f s  (%.2fx, %d store hits / %d misses)\n\
+    \  rankings %s across store-less, cold and warm runs\n"
+    (List.length ranked_cold) cold_s cold_cs.Model_cache.store_misses
+    cold_entries warm_s (cold_s /. warm_s)
+    warm_cs.Model_cache.store_hits warm_cs.Model_cache.store_misses
+    (if ranking_identical then "bit-identical" else "DIFFER");
+  (* Offsite variant ranking: the cold model-cache hit rate is the E15
+     baseline (repeated kernels inside one ranking); warm-from-disk
+     converts the remaining misses into store hits. *)
+  let pde = Ode.Pde.heat ~rank:2 ~n:96 ~alpha:1.0 in
+  let off_cold_cache = Model_cache.create () in
+  Model_cache.attach_store off_cold_cache (Store.open_root root);
+  let _ =
+    (Offsite.evaluate ~cache:off_cold_cache clx pde Ode.Tableau.rk4 ~h:1e-5
+       ~threads:4
+      : Offsite.candidate list)
+  in
+  let oc_cold = Model_cache.stats off_cold_cache in
+  let off_warm_cache = Model_cache.create () in
+  Model_cache.attach_store off_warm_cache (Store.open_root root);
+  let _ =
+    (Offsite.evaluate ~cache:off_warm_cache clx pde Ode.Tableau.rk4 ~h:1e-5
+       ~threads:4
+      : Offsite.candidate list)
+  in
+  let oc_warm = Model_cache.stats off_warm_cache in
+  let rate hits total = if total = 0 then 0.0 else float_of_int hits /. float_of_int total in
+  let cold_rate = rate oc_cold.Model_cache.hits (oc_cold.Model_cache.hits + oc_cold.Model_cache.misses) in
+  let warm_rate =
+    rate
+      (oc_warm.Model_cache.hits + oc_warm.Model_cache.store_hits)
+      (oc_warm.Model_cache.hits + oc_warm.Model_cache.misses)
+  in
+  Printf.printf
+    "offsite rk4 ranking: cold %.1f%% model-cache hit rate; warm from disk \
+     %.1f%% served without model evaluation (%d memory + %d store hits)\n"
+    (100.0 *. cold_rate) (100.0 *. warm_rate) oc_warm.Model_cache.hits
+    oc_warm.Model_cache.store_hits;
+  (* Adversarial corruption: truncate, scribble over and mis-file
+     entries, then let [verify] find them and the pipeline recompute. *)
+  let files = entry_files root in
+  let planted =
+    match files with
+    | a :: b :: c :: _ ->
+        Out_channel.with_open_bin a (fun oc ->
+            Out_channel.output_string oc "scribbled over");
+        Out_channel.with_open_bin b (fun _ -> () (* truncated to empty *));
+        Sys.rename c
+          (Filename.concat (Filename.dirname c)
+             "00000000000000000000000000000000");
+        3
+    | _ -> 0
+  in
+  let s_verify = Store.open_root root in
+  let v1 = Store.verify s_verify in
+  let post_cache = Model_cache.create () in
+  Model_cache.attach_store post_cache (Store.open_root root);
+  let ranked_post =
+    Advisor.rank_all ~cache:post_cache clx info ~dims ~threads
+  in
+  let v2 = Store.verify (Store.open_root root) in
+  Printf.printf
+    "corruption: planted %d bad entries; verify flagged %d/%d, re-ranking \
+     stayed %s and repaired the root (rescan: %d bad)\n"
+    planted v1.Store.bad v1.Store.scanned
+    (if ranked_post = ranked_base then "bit-identical" else "DIFFERENT")
+    v2.Store.bad;
+  (* Degraded mode: an unusable root must cost nothing but the misses. *)
+  let dead_cache = Model_cache.create () in
+  Model_cache.attach_store dead_cache (Store.open_root "/dev/null/nope");
+  let ranked_dead =
+    Advisor.rank_all ~cache:dead_cache clx info ~dims ~threads
+  in
+  let degraded_identical = ranked_dead = ranked_base in
+  Printf.printf "degraded (unusable root): ranking %s vs store-less run\n"
+    (if degraded_identical then "bit-identical" else "DIFFERENT");
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"ranking\": {\n\
+      \    \"candidates\": %d,\n\
+      \    \"cold_s\": %.6f,\n\
+      \    \"warm_from_disk_s\": %.6f,\n\
+      \    \"speedup_warm\": %.2f,\n\
+      \    \"bit_identical\": %b,\n\
+      \    \"cold_store\": { \"hits\": %d, \"misses\": %d, \"entries\": %d },\n\
+      \    \"warm_store\": { \"hits\": %d, \"misses\": %d }\n\
+      \  },\n\
+      \  \"offsite\": {\n\
+      \    \"cold_hit_rate\": %.4f,\n\
+      \    \"warm_no_eval_rate\": %.4f,\n\
+      \    \"warm_memory_hits\": %d,\n\
+      \    \"warm_store_hits\": %d,\n\
+      \    \"warm_store_misses\": %d\n\
+      \  },\n\
+      \  \"corruption\": {\n\
+      \    \"planted\": %d,\n\
+      \    \"verify_scanned\": %d,\n\
+      \    \"verify_bad\": %d,\n\
+      \    \"reranking_bit_identical\": %b,\n\
+      \    \"rescan_bad\": %d\n\
+      \  },\n\
+      \  \"degraded_root_bit_identical\": %b\n\
+       }\n"
+      (List.length ranked_cold) cold_s warm_s (cold_s /. warm_s)
+      ranking_identical cold_cs.Model_cache.store_hits
+      cold_cs.Model_cache.store_misses cold_entries
+      warm_cs.Model_cache.store_hits
+      warm_cs.Model_cache.store_misses cold_rate warm_rate
+      oc_warm.Model_cache.hits oc_warm.Model_cache.store_hits
+      oc_warm.Model_cache.store_misses planted v1.Store.scanned v1.Store.bad
+      (ranked_post = ranked_base)
+      v2.Store.bad degraded_identical
+  in
+  Out_channel.with_open_text "bench/BENCH_store.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "wrote bench/BENCH_store.json\n"
+
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
             ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-            ("e15", e15); ("e16", e16); ("e17", e17) ]
+            ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18) ]

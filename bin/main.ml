@@ -137,6 +137,72 @@ let with_domains domains f =
   | None -> f (Pool.shared ())
   | Some d -> Pool.with_pool ~domains:d f
 
+(* Tuning commands persist by default: the shared model cache spills
+   through the default store and safety certificates are written
+   through, so a second invocation warm-starts from disk. [None] when
+   YASKSITE_NO_STORE disables persistence — everything then runs
+   purely in memory, with identical results. *)
+let attach_default_store cache =
+  match Store.default () with
+  | None -> None
+  | Some s ->
+      Model_cache.attach_store cache s;
+      Engine.Cert.set_store (Some s);
+      Some s
+
+let stats_json_arg =
+  let doc =
+    "Emit one machine-readable JSON line of cache and store counters at \
+     the end (suppresses the human-readable cache summary)."
+  in
+  Arg.(value & flag & info [ "stats-json" ] ~doc)
+
+let stats_json_line ~cache ~store =
+  let cs = Model_cache.stats cache in
+  let store_part =
+    match store with
+    | None -> "null"
+    | Some s ->
+        let ss = Store.stats s in
+        let u = Store.usage s in
+        Printf.sprintf
+          "{\"root\":%S,\"active\":%b,\"writable\":%b,\"hits\":%d,\
+           \"misses\":%d,\"writes\":%d,\"write_errors\":%d,\
+           \"quarantined\":%d,\"locks_broken\":%d,\"entries\":%d,\
+           \"bytes\":%d,\"corrupt\":%d}"
+          (Store.root s) (Store.active s) (Store.writable s) ss.Store.hits
+          ss.Store.misses ss.Store.writes ss.Store.write_errors
+          ss.Store.quarantined ss.Store.locks_broken u.Store.entries
+          u.Store.bytes u.Store.corrupt
+  in
+  Printf.sprintf
+    "{\"cache\":{\"hits\":%d,\"misses\":%d,\"entries\":%d,\
+     \"store_hits\":%d,\"store_misses\":%d},\"store\":%s}"
+    cs.Model_cache.hits cs.Model_cache.misses cs.Model_cache.entries
+    cs.Model_cache.store_hits cs.Model_cache.store_misses store_part
+
+(* The shared end-of-command summary of tune/ode: one JSON line under
+   --stats-json, the familiar human cache line otherwise. *)
+let print_run_stats ~stats_json ~cache ~store =
+  if stats_json then print_endline (stats_json_line ~cache ~store)
+  else begin
+    let cs = Model_cache.stats cache in
+    Printf.printf
+      "\nmodel cache: %d hits / %d misses (%.0f%% hit rate, %d entries)\n"
+      cs.Model_cache.hits cs.Model_cache.misses
+      (100.0 *. Model_cache.hit_rate cache)
+      cs.Model_cache.entries;
+    match store with
+    | Some s when Store.active s ->
+        let ss = Store.stats s in
+        Printf.printf
+          "store: %d hits / %d misses, %d writes (%d errors, %d \
+           quarantined) at %s\n"
+          ss.Store.hits ss.Store.misses ss.Store.writes ss.Store.write_errors
+          ss.Store.quarantined (Store.root s)
+    | _ -> ()
+  end
+
 let ( let* ) = Result.bind
 
 let build_config ?stagger ~block ~fold ~wavefront ~threads ~streaming_stores
@@ -435,7 +501,8 @@ let tune_cmd =
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
   in
   let run machine scale stencil expr dims threads top empirical fault_seed
-      fault_rate noise retries budget resume domains sanitize backend =
+      fault_rate noise retries budget resume domains sanitize backend
+      stats_json =
     protect @@ fun () ->
     Option.iter Engine.Sweep.set_default_backend backend;
     (* Eager backend validation: a bad YASKSITE_BACKEND fails here with
@@ -445,6 +512,7 @@ let tune_cmd =
     let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
     with_domains domains @@ fun pool ->
     let cache = Model_cache.shared in
+    let store = attach_default_store cache in
     let legal = Lint.Schedule.legal k.info ~dims:k.dims in
     let ranked =
       Advisor.rank_all ~cache ~pool ~filter:legal k.machine k.info ~dims:k.dims
@@ -494,8 +562,8 @@ let tune_cmd =
           ()
       in
       let r =
-        Tuner.tune_empirical ~faults ~policy ?checkpoint:resume ~pool ~cache
-          ~sanitize k.machine k.spec ~dims:k.dims ~threads
+        Tuner.tune_empirical ~faults ~policy ?checkpoint:resume ?store ~pool
+          ~cache ~sanitize k.machine k.spec ~dims:k.dims ~threads
       in
       Printf.printf "\nresilient empirical sweep (%s, %d domains):\n"
         (Faults.Plan.describe faults) (Pool.size pool);
@@ -522,12 +590,7 @@ let tune_cmd =
       | Some path -> Printf.printf "  checkpoint  %s\n" path
       | None -> ()
     end;
-    let cs = Model_cache.stats cache in
-    Printf.printf
-      "\nmodel cache: %d hits / %d misses (%.0f%% hit rate, %d entries)\n"
-      cs.Model_cache.hits cs.Model_cache.misses
-      (100.0 *. Model_cache.hit_rate cache)
-      cs.Model_cache.entries
+    print_run_stats ~stats_json ~cache ~store
   in
   Cmd.v
     (Cmd.info "tune"
@@ -537,7 +600,7 @@ let tune_cmd =
       const run $ machine_arg $ scale_arg $ stencil_arg $ expr_arg $ dims_arg
       $ threads_arg $ top $ empirical_arg $ fault_seed_arg $ fault_rate_arg
       $ noise_arg $ retries_arg $ budget_arg $ resume_arg $ domains_arg
-      $ sanitize_arg $ backend_arg)
+      $ sanitize_arg $ backend_arg $ stats_json_arg)
 
 let scheme_name = function
   | `Unfused -> "unfused"
@@ -560,7 +623,7 @@ let ode_cmd =
     let doc = "Interior grid points per dimension." in
     Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc)
   in
-  let run machine scale mname pname n threads domains =
+  let run machine scale mname pname n threads domains stats_json =
     protect @@ fun () ->
     let m = or_die (machine_of_string ~scale machine) in
     let tab =
@@ -579,7 +642,10 @@ let ode_cmd =
     let h = 1e-5 in
     with_domains domains @@ fun pool ->
     let cache = Model_cache.shared in
-    let candidates = Offsite.evaluate ~cache ~pool m pde tab ~h ~threads in
+    let store = attach_default_store cache in
+    let candidates =
+      Offsite.evaluate ~cache ?store ~pool m pde tab ~h ~threads
+    in
     let tbl =
       Yasksite_util.Table.create
         ~title:
@@ -616,19 +682,14 @@ let ode_cmd =
       (if q.Offsite.top1 then "correct" else "WRONG")
       q.Offsite.speedup_selected
       (100.0 *. q.Offsite.mean_abs_error);
-    let cs = Model_cache.stats cache in
-    Printf.printf
-      "model cache: %d hits / %d misses (%.0f%% hit rate, %d entries)\n"
-      cs.Model_cache.hits cs.Model_cache.misses
-      (100.0 *. Model_cache.hit_rate cache)
-      cs.Model_cache.entries
+    print_run_stats ~stats_json ~cache ~store
   in
   Cmd.v
     (Cmd.info "ode"
        ~doc:"Rank ODE implementation variants (the Offsite integration)")
     Term.(
       const run $ machine_arg $ scale_arg $ method_arg $ pde_arg $ n_arg
-      $ threads_arg $ domains_arg)
+      $ threads_arg $ domains_arg $ stats_json_arg)
 
 let lint_cmd =
   let inputs_arg =
@@ -879,6 +940,125 @@ let methods_cmd =
              second (Offsite's cross-method selection)")
     Term.(const run $ machine_arg $ scale_arg $ pde_arg $ n_arg $ threads_arg)
 
+let store_cmd =
+  let root_arg =
+    let doc =
+      "Store root to operate on (default: $(b,YASKSITE_STORE), else \
+       ~/.cache/yasksite)."
+    in
+    Arg.(value & opt (some string) None & info [ "root" ] ~docv:"DIR" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit one machine-readable JSON line instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  (* Subcommands open the root explicitly: the YASKSITE_NO_STORE kill
+     switch silences implicit persistence in tuning commands, not an
+     operator asking about the store by name. *)
+  let open_store root =
+    Store.open_root
+      (match root with Some r -> r | None -> Store.default_root ())
+  in
+  let stats_cmd =
+    let run root json =
+      protect @@ fun () ->
+      let s = open_store root in
+      let u = Store.usage s in
+      if json then
+        print_endline
+          (Printf.sprintf
+             "{\"root\":%S,\"active\":%b,\"writable\":%b,\"entries\":%d,\
+              \"bytes\":%d,\"corrupt\":%d}"
+             (Store.root s) (Store.active s) (Store.writable s)
+             u.Store.entries u.Store.bytes u.Store.corrupt)
+      else begin
+        Printf.printf "root      %s\n" (Store.root s);
+        Printf.printf "active    %b\n" (Store.active s);
+        Printf.printf "writable  %b\n" (Store.writable s);
+        Printf.printf "entries   %d (%d bytes)\n" u.Store.entries
+          u.Store.bytes;
+        Printf.printf "corrupt   %d quarantined file(s)\n" u.Store.corrupt;
+        List.iter
+          (fun d -> Printf.printf "note      %s\n" d)
+          (Store.diagnostics s)
+      end
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Show the store's location, state and contents")
+      Term.(const run $ root_arg $ json_arg)
+  in
+  let verify_cmd =
+    let run root json =
+      protect @@ fun () ->
+      let s = open_store root in
+      let r = Store.verify s in
+      if json then
+        print_endline
+          (Printf.sprintf
+             "{\"root\":%S,\"scanned\":%d,\"ok\":%d,\"bad\":%d}"
+             (Store.root s) r.Store.scanned r.Store.ok r.Store.bad)
+      else
+        Printf.printf
+          "verified %s: %d scanned, %d ok, %d bad (quarantined)\n"
+          (Store.root s) r.Store.scanned r.Store.ok r.Store.bad;
+      exit (if r.Store.bad > 0 then 1 else 0)
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Check every entry's header, checksum and content address, \
+               quarantining invalid ones (exit 1 if any were found)")
+      Term.(const run $ root_arg $ json_arg)
+  in
+  let gc_cmd =
+    let max_age_arg =
+      let doc = "Expire entries older than this many seconds." in
+      Arg.(
+        value & opt (some float) None & info [ "max-age" ] ~docv:"S" ~doc)
+    in
+    let max_size_arg =
+      let doc =
+        "Evict oldest entries until at most this many bytes remain."
+      in
+      Arg.(
+        value & opt (some int) None & info [ "max-size" ] ~docv:"BYTES" ~doc)
+    in
+    let run root json max_age max_size =
+      protect @@ fun () ->
+      let s = open_store root in
+      let r = Store.gc ?max_age_s:max_age ?max_size_bytes:max_size s in
+      if json then
+        print_endline
+          (Printf.sprintf
+             "{\"root\":%S,\"scanned\":%d,\"removed\":%d,\"kept\":%d,\
+              \"bytes_removed\":%d,\"bytes_kept\":%d}"
+             (Store.root s) r.Store.scanned r.Store.removed r.Store.kept
+             r.Store.bytes_removed r.Store.bytes_kept)
+      else
+        Printf.printf
+          "gc %s: %d scanned, %d removed (%d bytes), %d kept (%d bytes)\n"
+          (Store.root s) r.Store.scanned r.Store.removed r.Store.bytes_removed
+          r.Store.kept r.Store.bytes_kept
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Expire old entries, bound the store's size, and sweep stale \
+               temp files")
+      Term.(const run $ root_arg $ json_arg $ max_age_arg $ max_size_arg)
+  in
+  let path_cmd =
+    let run root =
+      print_endline
+        (match root with Some r -> r | None -> Store.default_root ())
+    in
+    Cmd.v
+      (Cmd.info "path" ~doc:"Print the resolved store root and exit")
+      Term.(const run $ root_arg)
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect and maintain the persistent tuning store")
+    [ stats_cmd; verify_cmd; gc_cmd; path_cmd ]
+
 let () =
   let info =
     Cmd.info "yasksite" ~version:Yasksite.version
@@ -888,4 +1068,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ machines_cmd; stencils_cmd; predict_cmd; run_cmd; tune_cmd;
-            lint_cmd; ode_cmd; methods_cmd ]))
+            lint_cmd; ode_cmd; methods_cmd; store_cmd ]))

@@ -42,7 +42,10 @@ module Faults = struct
   module Policy = Yasksite_faults.Policy
   module Retry = Yasksite_faults.Retry
   module Checkpoint = Yasksite_faults.Checkpoint
+  module Io = Yasksite_faults.Io
 end
+
+module Store = Yasksite_store.Store
 
 module Ode = struct
   module Tableau = Yasksite_ode.Tableau

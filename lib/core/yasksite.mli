@@ -92,7 +92,19 @@ module Faults : sig
   module Policy = Yasksite_faults.Policy
   module Retry = Yasksite_faults.Retry
   module Checkpoint = Yasksite_faults.Checkpoint
+
+  module Io = Yasksite_faults.Io
+  (** Seeded filesystem-fault injection (ENOSPC/EIO/torn writes/crash
+      points) — the harness the {!Store} crash-consistency property is
+      proven under. *)
 end
+
+module Store = Yasksite_store.Store
+(** Crash-safe persistent artifact store: ECM predictions, tuner
+    checkpoints, Offsite tuning memos and safety certificates survive
+    the process through it. Degrades, never fails: an absent,
+    read-only or corrupted store root leaves every pipeline's results
+    bit-identical to a store-less run. *)
 
 module Ode : sig
   module Tableau = Yasksite_ode.Tableau

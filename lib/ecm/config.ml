@@ -78,3 +78,34 @@ let equal a b =
   a.block = b.block && a.fold = b.fold && a.wavefront = b.wavefront
   && a.wavefront_stagger = b.wavefront_stagger && a.threads = b.threads
   && a.streaming_stores = b.streaming_stores
+
+(* Exact round-trip codec (persistent-store serialisation). Unlike
+   [describe] this is built to parse back: six space-separated fields,
+   "-" for None. *)
+let to_string t =
+  Printf.sprintf "%s %s %d %s %d %b"
+    (match t.block with None -> "-" | Some b -> dims_str b)
+    (match t.fold with None -> "-" | Some f -> dims_str f)
+    t.wavefront
+    (match t.wavefront_stagger with None -> "-" | Some s -> string_of_int s)
+    t.threads t.streaming_stores
+
+let of_string s =
+  let dims_of s =
+    let parts = String.split_on_char 'x' s in
+    Some (Array.of_list (List.map int_of_string parts))
+  in
+  match String.split_on_char ' ' (String.trim s) with
+  | [ block; fold; wf; stagger; threads; nt ] -> (
+      try
+        let block = if block = "-" then None else dims_of block in
+        let fold = if fold = "-" then None else dims_of fold in
+        let wavefront_stagger =
+          if stagger = "-" then None else Some (int_of_string stagger)
+        in
+        Some
+          (v ?block ?fold ~wavefront:(int_of_string wf) ?wavefront_stagger
+             ~threads:(int_of_string threads)
+             ~streaming_stores:(bool_of_string nt) ())
+      with Failure _ | Invalid_argument _ -> None)
+  | _ -> None

@@ -48,3 +48,10 @@ val describe : t -> string
 (** Compact one-line rendering, e.g. ["b=64x16x512 f=1x2x4 wf=4 t=8"]. *)
 
 val equal : t -> t -> bool
+
+val to_string : t -> string
+(** Exact round-trip rendering (persistent-store serialisation); unlike
+    {!describe}, built to parse back via {!of_string}. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; [None] on any malformed or invalid input. *)

@@ -70,15 +70,63 @@ let mutex = Mutex.create ()
 
 let fast_hits = Atomic.make 0
 
+(* Optional persistent backing (namespace "cert-v1"): lookups that miss
+   the process-local table consult it, inserts write through, so a later
+   process starts certified. Certification is re-derivable, so a store
+   that degrades (or was corrupted and quarantined) only costs a re-run
+   of the checked path — never correctness. *)
+
+let persistent : Yasksite_store.Store.t option ref = ref None
+
+let set_store s = Mutex.protect mutex (fun () -> persistent := s)
+
+let store_ns = "cert-v1"
+
+let encode e =
+  Printf.sprintf "%s %d %d %d" e.fingerprint e.loads_per_point
+    e.stores_per_point e.flops_per_point
+
+let decode ~key s =
+  match String.split_on_char ' ' s with
+  | [ fingerprint; l; st; f ] -> (
+      try
+        Some
+          { key;
+            fingerprint;
+            loads_per_point = int_of_string l;
+            stores_per_point = int_of_string st;
+            flops_per_point = int_of_string f }
+      with Failure _ -> None)
+  | _ -> None
+
 let lookup k =
   if not (enabled ()) then None
-  else Mutex.protect mutex (fun () -> Hashtbl.find_opt store k)
+  else
+    match Mutex.protect mutex (fun () -> Hashtbl.find_opt store k) with
+    | Some _ as hit -> hit
+    | None -> (
+        match Mutex.protect mutex (fun () -> !persistent) with
+        | None -> None
+        | Some s -> (
+            match Yasksite_store.Store.get s ~ns:store_ns ~key:k with
+            | None -> None
+            | Some payload -> (
+                match decode ~key:k payload with
+                | None -> None
+                | Some e ->
+                    Mutex.protect mutex (fun () ->
+                        Hashtbl.replace store k e);
+                    Some e)))
 
 let mem k = lookup k <> None
 
 let insert e =
-  if enabled () then
-    Mutex.protect mutex (fun () -> Hashtbl.replace store e.key e)
+  if enabled () then begin
+    Mutex.protect mutex (fun () -> Hashtbl.replace store e.key e);
+    match Mutex.protect mutex (fun () -> !persistent) with
+    | None -> ()
+    | Some s -> Yasksite_store.Store.put s ~ns:store_ns ~key:e.key (encode e)
+  end
 
 let size () = Mutex.protect mutex (fun () -> Hashtbl.length store)
 

@@ -38,6 +38,12 @@ val key :
     each grid's (layout, halo) signature, and the config's block/fold —
     grid extents excluded. *)
 
+val set_store : Yasksite_store.Store.t option -> unit
+(** Back the process-local table with a persistent store (namespace
+    ["cert-v1"]): lookups missing in memory consult it, inserts write
+    through. [None] detaches. A degraded store only costs re-running
+    the checked path — certificates are re-derivable. *)
+
 val lookup : string -> entry option
 (** [None] when absent or when the store is disabled. *)
 

@@ -55,8 +55,40 @@ let load ~path ~key =
     | src -> parse ~key src
     | exception Sys_error _ -> []
 
+(* Directory fsync is best-effort: some filesystems refuse fsync on a
+   directory fd (EINVAL/EBADF), and a failure there only loses the
+   rename's durability, never its atomicity. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let write_string fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
 let save ~path ~key entries =
+  (* Crash-safe replacement: write the temp file, fsync it, rename over
+     the old checkpoint, then fsync the containing directory. Without
+     the two fsyncs a crash shortly after [save] returns could leave the
+     renamed file empty or torn, or lose the rename itself — the rename
+     alone only protects against crashes *during* the write. *)
   let tmp = path ^ ".tmp" in
-  Out_channel.with_open_text tmp (fun oc ->
-      Out_channel.output_string oc (render ~key entries));
-  Sys.rename tmp path
+  let fd =
+    Unix.openfile tmp
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+      0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_string fd (render ~key entries);
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)

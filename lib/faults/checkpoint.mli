@@ -20,7 +20,10 @@ val load : path:string -> key:string -> (int * entry) list
     lines are dropped. *)
 
 val save : path:string -> key:string -> (int * entry) list -> unit
-(** Atomically replace the checkpoint (write to a temp file, rename). *)
+(** Crash-safely replace the checkpoint: write a temp file, fsync it,
+    rename it over the old checkpoint, fsync the containing directory.
+    A crash at any point leaves either the old or the new checkpoint,
+    never a torn one. *)
 
 val render : key:string -> (int * entry) list -> string
 (** The serialised form (exposed for tests). *)

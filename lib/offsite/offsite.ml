@@ -1,6 +1,8 @@
 module Machine = Yasksite_arch.Machine
 module Analysis = Yasksite_stencil.Analysis
+module Lower = Yasksite_stencil.Lower
 module Config = Yasksite_ecm.Config
+module Store = Yasksite_store.Store
 module Model = Yasksite_ecm.Model
 module Advisor = Yasksite_ecm.Advisor
 module Cache = Yasksite_ecm.Cache
@@ -18,23 +20,65 @@ type candidate = {
   measured_step_seconds : float;
 }
 
-let best_static_config ?(cache = Cache.shared) ?pool m info ~dims ~threads =
-  (* Prune statically illegal schedules before any model evaluation;
-     the lint layer sits above ecm, so the predicate is injected here. *)
-  let ranked =
-    Advisor.rank_all ~cache ?pool
-      ~filter:(Lint.Schedule.legal info ~dims)
-      m info ~dims ~threads
-  in
-  let static =
-    List.filter (fun (c, _) -> c.Config.wavefront = 1) ranked
-  in
-  match static with
-  | (c, _) :: _ -> c
-  | [] -> Config.v ~threads ()
+(* Persistent memo of [best_static_config] outcomes: the ranking is a
+   deterministic function of (machine, kernel, dims, threads), so its
+   winner can be replayed from disk, skipping the whole rank_all pass
+   on warm starts. A memo that fails to decode — or decodes to a
+   config the schedule analyzer would refute — is ignored and the
+   ranking recomputed, so a corrupted store can cost time, never
+   change the choice. *)
+let memo_ns = "offsite-v1"
 
-let score ?(cache = Cache.shared) ?pool m (pde : Pde.t) (variant : Variant.t)
-    ~threads ~tuned =
+let memo_key m (info : Analysis.t) ~dims ~threads =
+  Printf.sprintf "%s|%s|%s|t=%d"
+    (Cache.machine_fingerprint m)
+    (Lower.fingerprint info.Analysis.spec)
+    (String.concat "x" (Array.to_list (Array.map string_of_int dims)))
+    threads
+
+let best_static_config ?(cache = Cache.shared) ?store ?pool m info ~dims
+    ~threads =
+  let warm =
+    match store with
+    | None -> None
+    | Some s -> (
+        match Store.get s ~ns:memo_ns ~key:(memo_key m info ~dims ~threads) with
+        | None -> None
+        | Some payload -> (
+            match Config.of_string payload with
+            | Some c
+              when c.Config.wavefront = 1 && Lint.Schedule.legal info ~dims c
+              ->
+                Some c
+            | _ -> None))
+  in
+  match warm with
+  | Some c -> c
+  | None ->
+      (* Prune statically illegal schedules before any model evaluation;
+         the lint layer sits above ecm, so the predicate is injected
+         here. *)
+      let ranked =
+        Advisor.rank_all ~cache ?pool
+          ~filter:(Lint.Schedule.legal info ~dims)
+          m info ~dims ~threads
+      in
+      let static =
+        List.filter (fun (c, _) -> c.Config.wavefront = 1) ranked
+      in
+      let best =
+        match static with (c, _) :: _ -> c | [] -> Config.v ~threads ()
+      in
+      (match store with
+      | None -> ()
+      | Some s ->
+          Store.put s ~ns:memo_ns
+            ~key:(memo_key m info ~dims ~threads)
+            (Config.to_string best));
+      best
+
+let score ?(cache = Cache.shared) ?store ?pool m (pde : Pde.t)
+    (variant : Variant.t) ~threads ~tuned =
   let dims = pde.Pde.dims in
   let points = float_of_int (Array.fold_left ( * ) 1 dims) in
   let per_kernel =
@@ -42,7 +86,8 @@ let score ?(cache = Cache.shared) ?pool m (pde : Pde.t) (variant : Variant.t)
       (fun (k : Variant.kernel) ->
         let info = Analysis.of_spec k.Variant.spec in
         let config =
-          if tuned then best_static_config ~cache ?pool m info ~dims ~threads
+          if tuned then
+            best_static_config ~cache ?store ?pool m info ~dims ~threads
           else Config.v ~threads ()
         in
         let prediction = Cache.predict cache m info ~dims ~config in
@@ -61,11 +106,14 @@ let score ?(cache = Cache.shared) ?pool m (pde : Pde.t) (variant : Variant.t)
     measured_step_seconds =
       List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0.0 per_kernel }
 
-let evaluate_variants ?(cache = Cache.shared) ?pool m pde variants ~threads =
+let evaluate_variants ?(cache = Cache.shared) ?store ?pool m pde variants
+    ~threads =
   let jobs =
     List.concat_map (fun v -> [ (v, false); (v, true) ]) variants
   in
-  let score_one (v, tuned) = score ~cache ?pool m pde v ~threads ~tuned in
+  let score_one (v, tuned) =
+    score ~cache ?store ?pool m pde v ~threads ~tuned
+  in
   let candidates =
     (* Scoring is deterministic per candidate (each measurement owns its
        address space), so the parallel map equals the sequential one. *)
@@ -78,11 +126,13 @@ let evaluate_variants ?(cache = Cache.shared) ?pool m pde variants ~threads =
     (fun a b -> compare a.predicted_step_seconds b.predicted_step_seconds)
     candidates
 
-let evaluate_mixed ?cache ?pool m pde tab ~h ~threads =
-  evaluate_variants ?cache ?pool m pde (Variant.all_mixed tab pde ~h) ~threads
+let evaluate_mixed ?cache ?store ?pool m pde tab ~h ~threads =
+  evaluate_variants ?cache ?store ?pool m pde
+    (Variant.all_mixed tab pde ~h)
+    ~threads
 
-let evaluate ?cache ?pool m pde tab ~h ~threads =
-  evaluate_variants ?cache ?pool m pde (Variant.all tab pde ~h) ~threads
+let evaluate ?cache ?store ?pool m pde tab ~h ~threads =
+  evaluate_variants ?cache ?store ?pool m pde (Variant.all tab pde ~h) ~threads
 
 type quality = {
   kendall : float;

@@ -15,6 +15,7 @@ type candidate = {
 
 val score :
   ?cache:Yasksite_ecm.Cache.t ->
+  ?store:Yasksite_store.Store.t ->
   ?pool:Yasksite_util.Pool.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_ode.Pde.t ->
@@ -30,6 +31,7 @@ val score :
 
 val evaluate :
   ?cache:Yasksite_ecm.Cache.t ->
+  ?store:Yasksite_store.Store.t ->
   ?pool:Yasksite_util.Pool.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_ode.Pde.t ->
@@ -41,10 +43,13 @@ val evaluate :
     predicted time, fastest first. ECM model evaluations are memoized
     in [cache] (default {!Yasksite_ecm.Cache.shared}) — variants share
     kernels, so repeated rankings hit; candidates are scored on
-    [pool]'s domains when given. Neither changes the result. *)
+    [pool]'s domains when given; [store] additionally persists
+    per-kernel tuning memos (see {!best_static_config}). None of the
+    three changes the result. *)
 
 val evaluate_mixed :
   ?cache:Yasksite_ecm.Cache.t ->
+  ?store:Yasksite_store.Store.t ->
   ?pool:Yasksite_util.Pool.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_ode.Pde.t ->
@@ -129,6 +134,7 @@ val rank_methods_at_accuracy :
 
 val best_static_config :
   ?cache:Yasksite_ecm.Cache.t ->
+  ?store:Yasksite_store.Store.t ->
   ?pool:Yasksite_util.Pool.t ->
   Yasksite_arch.Machine.t ->
   Yasksite_stencil.Analysis.t ->
@@ -137,4 +143,9 @@ val best_static_config :
   Yasksite_ecm.Config.t
 (** Best advisor configuration with temporal blocking disabled —
     RK data flow re-reads stages, so wavefronts across steps do not
-    apply to ODE kernels. *)
+    apply to ODE kernels. The ranking is deterministic in (machine,
+    kernel, dims, threads), so [store] memoizes the winner (namespace
+    ["offsite-v1"]): a warm start skips the whole ranking pass. A memo
+    that fails to decode or that the schedule analyzer refutes is
+    ignored and recomputed — a degraded store can cost time, never
+    change the configuration. *)

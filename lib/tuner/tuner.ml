@@ -15,6 +15,7 @@ module Plan = Yasksite_faults.Plan
 module Policy = Yasksite_faults.Policy
 module Retry = Yasksite_faults.Retry
 module Checkpoint = Yasksite_faults.Checkpoint
+module Store = Yasksite_store.Store
 
 type skipped = {
   s_config : Config.t;
@@ -105,8 +106,14 @@ let checkpoint_key m spec ~dims ~threads ~space ~(faults : Plan.t) =
    seed so backoff-delay sampling never perturbs fault outcomes. *)
 let jitter_seed_salt = 0x5DEECE66
 
+(* Checkpoints persisted through the store reuse the file format
+   verbatim (render/parse) under this namespace; the entry key is the
+   same scheme-3 sweep identity a checkpoint file carries in its
+   header, so the store path inherits every stale-key guarantee. *)
+let checkpoint_ns = "ckpt-v1"
+
 let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
-    ?(clock = Clock.system) ?checkpoint ?pool ?(cache = Cache.shared)
+    ?(clock = Clock.system) ?checkpoint ?store ?pool ?(cache = Cache.shared)
     ?(sanitize = false) m spec ~dims ~threads =
   let t0 = Clock.now clock in
   Lint.gate ~context:"Tuner.tune_empirical" (Lint.Kernel.spec spec);
@@ -158,18 +165,33 @@ let tune_empirical ?space ?(faults = Plan.none) ?(policy = Policy.default)
   let key =
     lazy (checkpoint_key m spec ~dims ~threads ~space ~faults)
   in
-  let entries =
-    ref
-      (match checkpoint with
-      | None -> []
-      | Some path -> Checkpoint.load ~path ~key:(Lazy.force key))
+  (* Persistence backend: an explicit [checkpoint] file wins; otherwise
+     a [store] keeps the sweep resumable under the same scheme-3 key.
+     Both speak the Checkpoint text format, so a resumed sweep cannot
+     tell them apart. *)
+  let ckpt_load, ckpt_save =
+    match (checkpoint, store) with
+    | Some path, _ ->
+        ( (fun k -> Checkpoint.load ~path ~key:k),
+          Some (fun k es -> Checkpoint.save ~path ~key:k es) )
+    | None, Some s ->
+        ( (fun k ->
+            match Store.get s ~ns:checkpoint_ns ~key:k with
+            | None -> []
+            | Some payload -> Checkpoint.parse ~key:k payload),
+          Some
+            (fun k es ->
+              Store.put s ~ns:checkpoint_ns ~key:k (Checkpoint.render ~key:k es))
+        )
+    | None, None -> ((fun _ -> []), None)
   in
+  let entries = ref (ckpt_load (Lazy.force key)) in
   let record idx e =
-    match checkpoint with
+    match ckpt_save with
     | None -> ()
-    | Some path ->
+    | Some save ->
         entries := !entries @ [ (idx, e) ];
-        Checkpoint.save ~path ~key:(Lazy.force key) !entries
+        save (Lazy.force key) !entries
   in
   let best = ref None in
   let measured_at = Hashtbl.create 16 in

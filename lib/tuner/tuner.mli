@@ -84,6 +84,7 @@ val tune_empirical :
   ?policy:Yasksite_faults.Policy.t ->
   ?clock:Yasksite_util.Clock.t ->
   ?checkpoint:string ->
+  ?store:Yasksite_store.Store.t ->
   ?pool:Yasksite_util.Pool.t ->
   ?cache:Yasksite_ecm.Cache.t ->
   ?sanitize:bool ->
@@ -107,7 +108,12 @@ val tune_empirical :
     budgets and configures robust aggregation. [checkpoint] names a file
     that is rewritten after every candidate and, when present and
     matching this sweep's identity, resumed from — completed candidates
-    are not re-run. All behaviour is a deterministic function of the
+    are not re-run. Without an explicit [checkpoint], [store] persists
+    the same checkpoint (same text format, same sweep-identity key)
+    into a {!Yasksite_store.Store} under namespace ["ckpt-v1"], so an
+    interrupted `yasksite tune` resumes from the machine-wide store; a
+    degraded store silently yields a non-resumable (but otherwise
+    identical) sweep. All behaviour is a deterministic function of the
     inputs and [faults.seed]; the [clock] only feeds wall-time
     accounting and budget enforcement.
 

@@ -278,6 +278,33 @@ let test_checkpoint_file () =
   Alcotest.(check bool) "missing file empty" true
     (Checkpoint.load ~path ~key = [])
 
+let test_checkpoint_save_atomic_replace () =
+  (* Regression: save must commit via a fresh fsynced temp file renamed
+     over the destination — a stale temp from a crashed writer must not
+     survive or leak into the checkpoint, and a shorter checkpoint must
+     fully replace a longer one (no tail of the old file showing
+     through). *)
+  let path = Filename.temp_file "yasksite" ".ckpt" in
+  let tmp = path ^ ".tmp" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; tmp ])
+  @@ fun () ->
+  let key = "cafe02" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc "stale garbage from a crashed writer");
+  Checkpoint.save ~path ~key sample_entries;
+  Alcotest.(check bool) "saved over stale temp" true
+    (entries_equal sample_entries (Checkpoint.load ~path ~key));
+  Alcotest.(check bool) "no temp file left behind" false
+    (Sys.file_exists tmp);
+  let shorter = [ List.hd sample_entries ] in
+  Checkpoint.save ~path ~key shorter;
+  Alcotest.(check bool) "shorter checkpoint fully replaces" true
+    (entries_equal shorter (Checkpoint.load ~path ~key))
+
 let qt = QCheck_alcotest.to_alcotest
 
 let suite =

@@ -9,6 +9,7 @@ let () =
       ("ecm", Test_ecm.suite);
       ("engine", Test_engine.suite);
       ("faults", Test_faults.suite);
+      ("store", Test_store.suite);
       ("tuner", Test_tuner.suite);
       ("parallel", Test_parallel.suite);
       ("ode", Test_ode.suite);
