@@ -1280,7 +1280,202 @@ let e18 () =
       Out_channel.output_string oc json);
   Printf.printf "wrote bench/BENCH_store.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* E19 — the codegen backend: kernels specialized per plan fingerprint,
+   compiled out of process and cached. Sweep wall clock against the
+   plan interpreter and the closure tree (bit-identical outputs
+   asserted), plus the compile-cache economics: first sweep against an
+   empty store (pays the compiler) vs a fresh process warm-starting
+   from the store (pays only the Dynlink load). Writes
+   bench/BENCH_codegen.json. *)
+
+let e19 () =
+  header "e19"
+    "Codegen backend vs plan and closure backends (BENCH_codegen.json)";
+  let module Sweep = Engine.Sweep in
+  let module Native = Engine.Native in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        Unix.rmdir path
+    | _ -> Unix.unlink path
+    | exception Unix.Unix_error _ -> ()
+  in
+  if not (Native.available ()) then begin
+    (* No toolchain here: the backend falls back to the plan
+       interpreter (covered by tests); record that and bail. *)
+    Printf.printf
+      "no OCaml toolchain available: codegen falls back to the plan \
+       interpreter; nothing to measure\n";
+    Out_channel.with_open_text "bench/BENCH_codegen.json" (fun oc ->
+        Out_channel.output_string oc "{\n  \"toolchain\": false\n}\n");
+    Printf.printf "wrote bench/BENCH_codegen.json\n"
+  end
+  else begin
+    let sweep_case (spec, dims, reps) =
+      let spec = Stencil.Suite.resolve_defaults spec in
+      let info = Stencil.Analysis.of_spec spec in
+      let halo = Stencil.Analysis.halo info in
+      let rank = spec.Stencil.Spec.rank in
+      let prng = Yasksite_util.Prng.create ~seed:(19 * rank) in
+      let a = Grid.create ~halo ~dims () in
+      Grid.fill a ~f:(fun _ ->
+          Yasksite_util.Prng.float_range prng ~lo:(-1.0) ~hi:1.0);
+      Grid.halo_dirichlet a 0.25;
+      let run backend =
+        let o = Grid.create ~halo ~dims () in
+        (* Warm-up sweep first so the codegen timing measures the
+           kernel, not its one-time compile; then best-of-3 over [reps]
+           back-to-back sweeps to shed scheduler noise. *)
+        ignore (Sweep.run ~backend spec ~inputs:[| a |] ~output:o
+                 : Sweep.stats);
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let (_ : Sweep.stats), s =
+            time (fun () ->
+                let acc = ref Sweep.zero_stats in
+                for _ = 1 to reps do
+                  acc :=
+                    Sweep.add_stats !acc
+                      (Sweep.run ~backend spec ~inputs:[| a |] ~output:o)
+                done;
+                !acc)
+          in
+          if s < !best then best := s
+        done;
+        (o, !best)
+      in
+      let o_closure, closure_s = run Sweep.Closure_backend in
+      let o_plan, plan_s = run Sweep.Plan_backend in
+      let o_codegen, codegen_s = run Sweep.Codegen_backend in
+      let identical =
+        Grid.max_abs_diff o_plan o_closure = 0.0
+        && Grid.max_abs_diff o_plan o_codegen = 0.0
+      in
+      let points = Array.fold_left ( * ) 1 dims in
+      let vs_plan = plan_s /. codegen_s in
+      let vs_closure = closure_s /. codegen_s in
+      Printf.printf
+        "%-14s rank %d %-12s %7d pts x%d: closure %.4f s, plan %.4f s, \
+         codegen %.4f s (%.2fx vs plan, %.2fx vs closure, outputs %s)\n"
+        spec.Stencil.Spec.name rank
+        (String.concat "x" (Array.to_list (Array.map string_of_int dims)))
+        points reps closure_s plan_s codegen_s vs_plan vs_closure
+        (if identical then "bit-identical" else "DIFFER");
+      (spec, dims, points, reps, closure_s, plan_s, codegen_s, vs_plan,
+       vs_closure, identical)
+    in
+    let cases =
+      List.map sweep_case
+        [ (Stencil.Suite.heat_2d_5pt, [| 512; 512 |], 8);
+          (Stencil.Suite.box_2d_9pt, [| 512; 512 |], 8);
+          (Stencil.Suite.heat_3d_7pt, [| 96; 96; 96 |], 4) ]
+    in
+    (* Compile-cache economics on a throwaway store root: the cold
+       first sweep pays the out-of-process compiler, a fresh process
+       on the same root revives the compiled kernel and pays only the
+       load. *)
+    let root =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "yasksite-bench-kern-%d" (Unix.getpid ()))
+    in
+    rm_rf root;
+    let cold_s, warm_s, cold_stats, warm_stats =
+      Fun.protect
+        ~finally:(fun () ->
+          Native.reset_for_tests ();
+          rm_rf root)
+      @@ fun () ->
+      let spec = Stencil.Suite.resolve_defaults Stencil.Suite.heat_2d_5pt in
+      let info = Stencil.Analysis.of_spec spec in
+      let halo = Stencil.Analysis.halo info in
+      let dims = [| 256; 256 |] in
+      let a = Grid.create ~halo ~dims () in
+      Grid.fill a ~f:(fun _ -> 0.5);
+      Grid.halo_dirichlet a 0.25;
+      let first () =
+        let o = Grid.create ~halo ~dims () in
+        snd
+          (time (fun () ->
+               ignore
+                 (Sweep.run ~backend:Sweep.Codegen_backend spec
+                    ~inputs:[| a |] ~output:o
+                   : Sweep.stats)))
+      in
+      Native.reset_for_tests ();
+      Native.set_store (Some (Store.open_root root));
+      let cold_s = first () in
+      let cold_stats = Native.stats () in
+      (* reset_for_tests simulates a fresh process: memoized kernels,
+         counters and the attached store are all dropped. *)
+      Native.reset_for_tests ();
+      Native.set_store (Some (Store.open_root root));
+      let warm_s = first () in
+      let warm_stats = Native.stats () in
+      (cold_s, warm_s, cold_stats, warm_stats)
+    in
+    Printf.printf
+      "compile cache (heat-2d-5pt, 256x256, first sweep of a process):\n\
+      \  cold, empty store  %.4f s  (%d compile, %d store hits)\n\
+      \  warm from store    %.4f s  (%.2fx; %d compiles, %d store hit)\n"
+      cold_s cold_stats.Native.compiles cold_stats.Native.store_hits warm_s
+      (cold_s /. warm_s)
+      warm_stats.Native.compiles warm_stats.Native.store_hits;
+    let json =
+      let case_json
+          (spec, dims, points, reps, closure_s, plan_s, codegen_s, vs_plan,
+           vs_closure, id) =
+        Printf.sprintf
+          "    {\n\
+          \      \"stencil\": \"%s\",\n\
+          \      \"rank\": %d,\n\
+          \      \"dims\": [%s],\n\
+          \      \"points\": %d,\n\
+          \      \"reps\": %d,\n\
+          \      \"closure_s\": %.6f,\n\
+          \      \"plan_s\": %.6f,\n\
+          \      \"codegen_s\": %.6f,\n\
+          \      \"speedup_vs_plan\": %.2f,\n\
+          \      \"speedup_vs_closure\": %.2f,\n\
+          \      \"bit_identical\": %b\n\
+          \    }"
+          spec.Stencil.Spec.name spec.Stencil.Spec.rank
+          (String.concat ", " (Array.to_list (Array.map string_of_int dims)))
+          points reps closure_s plan_s codegen_s vs_plan vs_closure id
+      in
+      Printf.sprintf
+        "{\n\
+        \  \"toolchain\": true,\n\
+        \  \"sweeps\": [\n%s\n  ],\n\
+        \  \"compile_cache\": {\n\
+        \    \"cold_first_sweep_s\": %.6f,\n\
+        \    \"warm_first_sweep_s\": %.6f,\n\
+        \    \"speedup_warm\": %.2f,\n\
+        \    \"cold_compiles\": %d,\n\
+        \    \"cold_store_hits\": %d,\n\
+        \    \"warm_compiles\": %d,\n\
+        \    \"warm_store_hits\": %d\n\
+        \  }\n\
+         }\n"
+        (String.concat ",\n" (List.map case_json cases))
+        cold_s warm_s (cold_s /. warm_s) cold_stats.Native.compiles
+        cold_stats.Native.store_hits warm_stats.Native.compiles
+        warm_stats.Native.store_hits
+    in
+    Out_channel.with_open_text "bench/BENCH_codegen.json" (fun oc ->
+        Out_channel.output_string oc json);
+    Printf.printf "wrote bench/BENCH_codegen.json\n"
+  end
+
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
             ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-            ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18) ]
+            ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
+            ("e19", e19) ]

@@ -116,14 +116,17 @@ let backend_arg =
   let backend =
     Arg.enum
       [ ("plan", Engine.Sweep.Plan_backend);
-        ("closure", Engine.Sweep.Closure_backend) ]
+        ("closure", Engine.Sweep.Closure_backend);
+        ("codegen", Engine.Sweep.Codegen_backend) ]
   in
   let doc =
     "Execution backend for sweeps: $(b,plan) (the kernel-plan driver — \
-     row-hoisted table-addressed loops, the default) or $(b,closure) \
-     (the legacy per-point closure tree). Both produce bit-identical \
-     results. Default: the YASKSITE_BACKEND environment variable, else \
-     plan."
+     row-hoisted table-addressed loops, the default), $(b,closure) \
+     (the legacy per-point closure tree), or $(b,codegen) (kernels \
+     specialized per plan fingerprint, compiled out of process and \
+     cached; falls back to plan when no OCaml toolchain is available). \
+     All produce bit-identical results. Default: the YASKSITE_BACKEND \
+     environment variable, else plan."
   in
   Arg.(
     value
@@ -148,6 +151,7 @@ let attach_default_store cache =
   | Some s ->
       Model_cache.attach_store cache s;
       Engine.Cert.set_store (Some s);
+      Engine.Native.set_store (Some s);
       Some s
 
 let stats_json_arg =
@@ -177,9 +181,10 @@ let stats_json_line ~cache ~store =
   in
   Printf.sprintf
     "{\"cache\":{\"hits\":%d,\"misses\":%d,\"entries\":%d,\
-     \"store_hits\":%d,\"store_misses\":%d},\"store\":%s}"
+     \"store_hits\":%d,\"store_misses\":%d},\"store\":%s,\"kernels\":%s}"
     cs.Model_cache.hits cs.Model_cache.misses cs.Model_cache.entries
     cs.Model_cache.store_hits cs.Model_cache.store_misses store_part
+    (Engine.Native.stats_json ())
 
 (* The shared end-of-command summary of tune/ode: one JSON line under
    --stats-json, the familiar human cache line otherwise. *)
@@ -192,7 +197,7 @@ let print_run_stats ~stats_json ~cache ~store =
       cs.Model_cache.hits cs.Model_cache.misses
       (100.0 *. Model_cache.hit_rate cache)
       cs.Model_cache.entries;
-    match store with
+    (match store with
     | Some s when Store.active s ->
         let ss = Store.stats s in
         Printf.printf
@@ -200,7 +205,17 @@ let print_run_stats ~stats_json ~cache ~store =
            quarantined) at %s\n"
           ss.Store.hits ss.Store.misses ss.Store.writes ss.Store.write_errors
           ss.Store.quarantined (Store.root s)
-    | _ -> ()
+    | _ -> ());
+    let ks = Engine.Native.stats () in
+    if
+      ks.Engine.Native.compiles + ks.Engine.Native.store_hits
+      + ks.Engine.Native.loads + ks.Engine.Native.fallbacks
+      > 0
+    then
+      Printf.printf
+        "kernel cache: %d compiled, %d from store, %d fallbacks\n"
+        ks.Engine.Native.compiles ks.Engine.Native.store_hits
+        ks.Engine.Native.fallbacks
   end
 
 let ( let* ) = Result.bind
@@ -430,13 +445,18 @@ let parallel_sweep_demo ?(sanitize = false) k ~config pool =
 
 let run_cmd =
   let run machine scale stencil expr dims threads block fold wavefront nt
-      stagger domains sanitize backend =
+      stagger domains sanitize backend stats_json =
     protect @@ fun () ->
     Option.iter Engine.Sweep.set_default_backend backend;
     (* Eager backend validation: a bad YASKSITE_BACKEND fails here with
        the one-line legal-backends message instead of mid-measurement.
        (--backend, validated by the parser, overrides the variable.) *)
     ignore (Engine.Sweep.default_backend () : Engine.Sweep.backend);
+    (* The codegen backend warm-starts from the persistent store: a
+       second run of the same kernel loads the compiled .cmxs instead
+       of invoking the compiler (YASKSITE_NO_STORE opts out). *)
+    let cache = Model_cache.shared in
+    let store = attach_default_store cache in
     let k = or_die (build_kernel ?expr ~machine ~scale ~stencil ~dims ()) in
     let config =
       or_die
@@ -446,7 +466,8 @@ let run_cmd =
     print_string (report ~sanitize k ~config);
     if domains <> None then
       with_domains domains (fun pool ->
-          parallel_sweep_demo ~sanitize k ~config pool)
+          parallel_sweep_demo ~sanitize k ~config pool);
+    if stats_json then print_endline (stats_json_line ~cache ~store)
   in
   Cmd.v
     (Cmd.info "run"
@@ -455,7 +476,8 @@ let run_cmd =
     Term.(
       const run $ machine_arg $ scale_arg $ stencil_arg $ expr_arg $ dims_arg
       $ threads_arg $ block_arg $ fold_arg $ wavefront_arg $ nt_arg
-      $ stagger_arg $ domains_arg $ sanitize_arg $ backend_arg)
+      $ stagger_arg $ domains_arg $ sanitize_arg $ backend_arg
+      $ stats_json_arg)
 
 let tune_cmd =
   let top =
@@ -964,19 +986,32 @@ let store_cmd =
       protect @@ fun () ->
       let s = open_store root in
       let u = Store.usage s in
+      let by_ns = Store.usage_by_ns s in
       if json then
         print_endline
           (Printf.sprintf
              "{\"root\":%S,\"active\":%b,\"writable\":%b,\"entries\":%d,\
-              \"bytes\":%d,\"corrupt\":%d}"
+              \"bytes\":%d,\"corrupt\":%d,\"schemas\":[%s]}"
              (Store.root s) (Store.active s) (Store.writable s)
-             u.Store.entries u.Store.bytes u.Store.corrupt)
+             u.Store.entries u.Store.bytes u.Store.corrupt
+             (String.concat ","
+                (List.map
+                   (fun (n : Store.ns_usage) ->
+                     Printf.sprintf
+                       "{\"ns\":%S,\"entries\":%d,\"bytes\":%d}" n.Store.ns
+                       n.Store.ns_entries n.Store.ns_bytes)
+                   by_ns)))
       else begin
         Printf.printf "root      %s\n" (Store.root s);
         Printf.printf "active    %b\n" (Store.active s);
         Printf.printf "writable  %b\n" (Store.writable s);
         Printf.printf "entries   %d (%d bytes)\n" u.Store.entries
           u.Store.bytes;
+        List.iter
+          (fun (n : Store.ns_usage) ->
+            Printf.printf "  %-12s %d entries (%d bytes)\n" n.Store.ns
+              n.Store.ns_entries n.Store.ns_bytes)
+          by_ns;
         Printf.printf "corrupt   %d quarantined file(s)\n" u.Store.corrupt;
         List.iter
           (fun d -> Printf.printf "note      %s\n" d)
@@ -1022,10 +1057,17 @@ let store_cmd =
       Arg.(
         value & opt (some int) None & info [ "max-size" ] ~docv:"BYTES" ~doc)
     in
-    let run root json max_age max_size =
+    let ns_arg =
+      let doc =
+        "Restrict collection to one schema namespace (e.g. $(b,kern-v1) \
+         to drop compiled kernels without touching tuning results)."
+      in
+      Arg.(value & opt (some string) None & info [ "ns" ] ~docv:"NS" ~doc)
+    in
+    let run root json max_age max_size ns =
       protect @@ fun () ->
       let s = open_store root in
-      let r = Store.gc ?max_age_s:max_age ?max_size_bytes:max_size s in
+      let r = Store.gc ?ns ?max_age_s:max_age ?max_size_bytes:max_size s in
       if json then
         print_endline
           (Printf.sprintf
@@ -1043,7 +1085,8 @@ let store_cmd =
       (Cmd.info "gc"
          ~doc:"Expire old entries, bound the store's size, and sweep stale \
                temp files")
-      Term.(const run $ root_arg $ json_arg $ max_age_arg $ max_size_arg)
+      Term.(
+        const run $ root_arg $ json_arg $ max_age_arg $ max_size_arg $ ns_arg)
   in
   let path_cmd =
     let run root =

@@ -12,6 +12,7 @@ module Stencil = struct
   module Compile = Yasksite_stencil.Compile
   module Plan = Yasksite_stencil.Plan
   module Lower = Yasksite_stencil.Lower
+  module Codegen = Yasksite_stencil.Codegen
   module Gen = Yasksite_stencil.Gen
   module Parser = Yasksite_stencil.Parser
 end
@@ -32,6 +33,7 @@ module Engine = struct
   module Sanitizer = Yasksite_engine.Sanitizer
   module Cert = Yasksite_engine.Cert
   module Certify = Yasksite_engine.Certify
+  module Native = Yasksite_engine.Native
 end
 
 module Tuner = Yasksite_tuner.Tuner

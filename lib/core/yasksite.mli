@@ -47,6 +47,11 @@ module Stencil : sig
   (** Lowering to {!Plan} and binding plans to concrete grids (the
       default execution backend of {!Engine.Sweep}). *)
 
+  module Codegen = Yasksite_stencil.Codegen
+  (** Plan→native source emission: the pure front half of
+      {!Engine.Sweep}'s codegen backend ({!Engine.Native} builds,
+      loads and caches what this emits). *)
+
   module Gen = Yasksite_stencil.Gen
   module Parser = Yasksite_stencil.Parser
 end
@@ -82,6 +87,11 @@ module Engine : sig
   module Certify = Yasksite_engine.Certify
   (** Certification pipeline: static YS5xx proof plus YS511 traced
       cross-validation, producing {!Cert} entries. *)
+
+  module Native = Yasksite_engine.Native
+  (** Compile/load/cache machinery behind [Sweep.Codegen_backend]:
+      kernels compiled once per machine into the store's [kern-v1]
+      schema, with graceful fallback to the plan interpreter. *)
 end
 
 module Tuner = Yasksite_tuner.Tuner

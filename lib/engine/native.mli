@@ -1,0 +1,65 @@
+(** Build, load and cache the kernels {!Yasksite_stencil.Codegen}
+    emits — the machine half of the [Codegen_backend].
+
+    A kernel is resolved per specialization key (plan fingerprint ×
+    layout/pad variant): first from a process-local memo, then from the
+    persistent store (namespace ["kern-v1"], compiled [.cmxs] bytes
+    keyed by specialization key × compiler version × flags — so a
+    kernel is compiled once per machine, ever), and only then by an
+    out-of-process [ocamlfind ocamlopt -shared] build whose result is
+    written through to the store and loaded with
+    [Dynlink.loadfile_private].
+
+    {b Degraded mode.} Resolution never fails a pipeline: a missing
+    toolchain, bytecode host, YS5xx verifier rejection, unsupported
+    plan body, compile/load error or read-only store all yield [None]
+    (callers fall back to the plan interpreter) after a single
+    [stderr] warning line per process. Failures are memoized per key;
+    a corrupt or stale store payload is detected by the failing load
+    and repaired by recompilation.
+
+    Like {!Cert}, the persistent backing is opt-in ([{!set_store}]):
+    library use stays hermetic until the CLI attaches the default
+    store. *)
+
+type stats = {
+  compiles : int;  (** out-of-process compiler invocations *)
+  compile_errors : int;
+  store_hits : int;  (** kernels revived from the persistent store *)
+  loads : int;  (** successful Dynlink loads *)
+  load_errors : int;  (** failed loads (corrupt payloads recompile) *)
+  fallbacks : int;  (** resolutions that fell back to the interpreter *)
+  gate_rejections : int;  (** plans the YS5xx verifier refused *)
+}
+
+val store_ns : string
+(** ["kern-v1"] — the store schema holding compiled kernel bytes. *)
+
+val kern_for :
+  plan:Yasksite_stencil.Plan.t ->
+  inputs:Yasksite_grid.Grid.t array ->
+  output:Yasksite_grid.Grid.t ->
+  Yasksite_stencil.Codegen.kern option
+(** The compiled kernel for [plan] specialized to these grids' variant,
+    or [None] when the codegen path is unavailable for any reason (see
+    the degraded-mode contract above). Safe to call from pool slices;
+    resolution is serialized, memo hits are a table lookup. *)
+
+val available : unit -> bool
+(** Whether kernels can be built and loaded here (native Dynlink and a
+    working [ocamlfind ocamlopt]). Probed once per process. *)
+
+val set_store : Yasksite_store.Store.t option -> unit
+(** Attach ([Some s]) or detach ([None], the initial state) the
+    persistent backing for compiled kernels. *)
+
+val stats : unit -> stats
+(** Process-wide kernel-cache counters. *)
+
+val stats_json : unit -> string
+(** One-line JSON object of {!stats}. *)
+
+val reset_for_tests : unit -> unit
+(** Forget everything: memo, counters, the warning latch, the toolchain
+    probe and the attached store — so a test can exercise resolution
+    under a changed environment ([PATH], private store roots). *)

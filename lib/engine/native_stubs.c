@@ -1,0 +1,26 @@
+/* Bridge to the runtime's named-value table.
+ *
+ * A generated kernel unit (Stencil.Codegen) publishes its entry points
+ * with [Callback.register] under an ABI-versioned name; the host
+ * retrieves them here through [caml_named_value] without sharing any
+ * cmi with the plugin. Returns [None] when nothing was registered
+ * under [name]. */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/alloc.h>
+#include <caml/callback.h>
+
+CAMLprim value yasksite_named_value(value vname)
+{
+  CAMLparam1(vname);
+  CAMLlocal1(res);
+  const value *p = caml_named_value(String_val(vname));
+  if (p == NULL)
+    CAMLreturn(Val_int(0)); /* None */
+  res = caml_alloc_small(1, 0);
+  /* [p] addresses a global root slot, so reading it after the
+     allocation observes the up-to-date (possibly moved) value. */
+  Field(res, 0) = *p;
+  CAMLreturn(res);
+}

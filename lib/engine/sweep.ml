@@ -5,6 +5,7 @@ module Analysis = Yasksite_stencil.Analysis
 module Compile = Yasksite_stencil.Compile
 module Plan = Yasksite_stencil.Plan
 module Lower = Yasksite_stencil.Lower
+module Codegen = Yasksite_stencil.Codegen
 module Expr = Yasksite_stencil.Expr
 module Config = Yasksite_ecm.Config
 module Pool = Yasksite_util.Pool
@@ -24,13 +25,18 @@ let add_stats a b =
 
 (* ---- execution backends ---- *)
 
-type backend = Plan_backend | Closure_backend
+type backend = Plan_backend | Closure_backend | Codegen_backend
 
 let backend_override = ref None
 
 let set_default_backend b = backend_override := Some b
 
-let legal_backends = [ ("plan", Plan_backend); ("closure", Closure_backend) ]
+let clear_default_backend () = backend_override := None
+
+let legal_backends =
+  [ ("plan", Plan_backend);
+    ("closure", Closure_backend);
+    ("codegen", Codegen_backend) ]
 
 let backend_of_string s =
   match List.assoc_opt (String.lowercase_ascii (String.trim s)) legal_backends with
@@ -61,6 +67,7 @@ let default_backend () =
 let backend_name = function
   | Plan_backend -> "plan"
   | Closure_backend -> "closure"
+  | Codegen_backend -> "codegen"
 
 let ceil_div a b = (a + b - 1) / b
 
@@ -141,7 +148,7 @@ let run_region ?backend ?bound ?trace ?sanitize ?(check = true)
      exactly as before the plan driver existed. *)
   let closure_eval =
     match backend with
-    | Plan_backend -> None
+    | Plan_backend | Codegen_backend -> None
     | Closure_backend ->
         Some
           (match rank with
@@ -163,6 +170,17 @@ let run_region ?backend ?bound ?trace ?sanitize ?(check = true)
   let drv = Lower.driver bound in
   let accesses = (Lower.plan_of bound).Plan.accesses in
   let nslots = Array.length accesses in
+  (* The codegen backend resolves a compiled kernel for this plan's
+     specialization (memoized; compiled and store-cached on first
+     sight). [None] — unavailable toolchain, rejected or unsupported
+     plan — falls back to the plan interpreter below, so the sweep
+     never fails for codegen-specific reasons. *)
+  let kern =
+    match backend with
+    | Codegen_backend ->
+        Native.kern_for ~plan:(Lower.plan_of bound) ~inputs ~output
+    | Plan_backend | Closure_backend -> None
+  in
   (* Shadow checks run per point *before* any evaluation or address
      computation, so an out-of-bounds trap fires ahead of the driver's
      unchecked table access. Scratch coordinate arrays are safe to
@@ -195,15 +213,34 @@ let run_region ?backend ?bound ?trace ?sanitize ?(check = true)
             write wc)
   in
   let row_body =
-    match (closure_eval, trace, sanitize_point) with
-    | None, None, None ->
+    match (closure_eval, trace, sanitize_point, kern) with
+    | None, None, None, Some k ->
+        (* the generated hot path: the compiled unit's own row loop,
+           driven by the same bound storage and row bases as the
+           interpreter's *)
+        let rw = Lower.raw_of bound in
+        let row = Lower.driver_row drv in
+        fun (_ : int array) xb xe ->
+          k.Codegen.row rw.Lower.r_slot_data rw.Lower.r_slot_tab
+            rw.Lower.r_out_data rw.Lower.r_out_tab row
+            (Lower.driver_out_row drv) xb xe
+    | None, None, None, None ->
         (* the hot path: one monomorphic loop inside the driver *)
         fun (_ : int array) xb xe -> Lower.store_row drv xb xe
     | _ ->
         let eval =
-          match closure_eval with
-          | None -> fun (_ : int array) x -> Lower.eval drv x
-          | Some f -> f
+          match (closure_eval, kern) with
+          | Some f, _ -> f
+          | None, Some k ->
+              (* instrumented codegen runs: the generated point
+                 evaluator under the driver's addressing, so traces,
+                 traps and output placement stay shared with the
+                 other backends *)
+              let rw = Lower.raw_of bound in
+              let row = Lower.driver_row drv in
+              fun (_ : int array) x ->
+                k.Codegen.point rw.Lower.r_slot_data rw.Lower.r_slot_tab row x
+          | None, None -> fun (_ : int array) x -> Lower.eval drv x
         in
         let traced =
           match trace with
@@ -328,7 +365,7 @@ let run ?pool ?backend ?plan ?bound ?trace ?sanitize ?(check = true) ?config
     match plan with
     | Some _ -> plan
     | None ->
-        if backend = Plan_backend
+        if backend <> Closure_backend
            || (sanitize <> None && check && Cert.enabled ())
         then Some (Lower.lower spec)
         else None
@@ -365,7 +402,7 @@ let run ?pool ?backend ?plan ?bound ?trace ?sanitize ?(check = true) ?config
     match (backend, bound) with
     | _, Some b -> Some b
     | Closure_backend, None -> None
-    | Plan_backend, None ->
+    | (Plan_backend | Codegen_backend), None ->
         let p = match plan with Some p -> p | None -> Lower.lower spec in
         Some (Lower.bind p ~inputs ~output)
   in

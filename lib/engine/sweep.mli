@@ -9,14 +9,19 @@
     property tests): blocking, folding and tracing change only the order
     and observation of operations, never values.
 
-    Two execution {!type-backend}s share this schedule. The default
+    Three execution {!type-backend}s share this schedule. The default
     [Plan_backend] binds the stencil's kernel plan
     ({!Yasksite_stencil.Lower}) to the grids once and drives row-hoisted,
     table-addressed inner loops with no per-point closure dispatch; the
     legacy [Closure_backend] evaluates the staged closure tree
-    ({!Yasksite_stencil.Compile}) per point. Both produce bit-identical
-    output grids, traces and sanitizer verdicts (the plan driver supplies
-    addressing for both; property-tested). *)
+    ({!Yasksite_stencil.Compile}) per point; [Codegen_backend] runs a
+    natively compiled specialization of the plan
+    ({!Yasksite_stencil.Codegen} emitted, {!Native} built and cached),
+    falling back to the plan interpreter with a one-line warning
+    whenever a kernel cannot be resolved (no toolchain, rejected or
+    unsupported plan, failed compile). All backends produce
+    bit-identical output grids, traces and sanitizer verdicts (the plan
+    driver supplies addressing throughout; property-tested). *)
 
 type stats = {
   points : int;  (** lattice updates performed *)
@@ -31,7 +36,7 @@ val zero_stats : stats
 
 val add_stats : stats -> stats -> stats
 
-type backend = Plan_backend | Closure_backend
+type backend = Plan_backend | Closure_backend | Codegen_backend
 
 val backend_of_string : string -> (backend, string) result
 (** Parse a backend name (case-insensitive, whitespace-trimmed). The
@@ -49,6 +54,10 @@ val default_backend : unit -> backend
 val set_default_backend : backend -> unit
 (** Process-wide override of the environment default (the CLI's
     [--backend] flag). *)
+
+val clear_default_backend : unit -> unit
+(** Drop the {!set_default_backend} override, restoring environment
+    precedence — for tests exercising the precedence chain. *)
 
 val backend_name : backend -> string
 

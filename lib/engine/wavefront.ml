@@ -106,7 +106,7 @@ let steps ?backend ?plan ?trace ?sanitize ?(check = true)
     let bound =
       match backend with
       | Sweep.Closure_backend -> None
-      | Sweep.Plan_backend ->
+      | Sweep.Plan_backend | Sweep.Codegen_backend ->
           Some (Lazy.force (if abs_t mod 2 = 0 then bound_ab else bound_ba))
     in
     let s =

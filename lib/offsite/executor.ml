@@ -140,7 +140,7 @@ let step t =
       let bound =
         match backend with
         | Sweep.Closure_backend -> None
-        | Sweep.Plan_backend ->
+        | Sweep.Plan_backend | Sweep.Codegen_backend ->
             (* Physical identity of the grid combination: the ping-pong
                swap changes which grids the buffers resolve to, not the
                buffers themselves. *)

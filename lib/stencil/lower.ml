@@ -267,6 +267,21 @@ let bind (plan : Plan.t) ~inputs ~output =
 
 let plan_of b = b.plan
 
+(* Raw addressing handles for generated kernels (Codegen): the bound's
+   storage and tables, without the interpreter in between. *)
+type raw = {
+  r_slot_data : farr array;
+  r_slot_tab : int array array;
+  r_out_data : farr;
+  r_out_tab : int array;
+}
+
+let raw_of b =
+  { r_slot_data = b.slot_data;
+    r_slot_tab = b.slot_tab;
+    r_out_data = b.out_data;
+    r_out_tab = b.out_tab }
+
 (* Per-region mutable scratch. A bound is immutable and may be shared by
    concurrent pool slices; each slice drives its own driver. *)
 type driver = {
@@ -298,6 +313,10 @@ let set_row drv outer =
     drv.row.(s) <- Grid.row_base b.slot_grid.(s) drv.oc
   done;
   drv.out_row <- Grid.row_base b.output outer
+
+let driver_row drv = drv.row
+
+let driver_out_row drv = drv.out_row
 
 (* No bounds checks below: for regions inside the iteration space every
    table index [x + shift] lies in [0, padded last extent) because the

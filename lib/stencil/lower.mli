@@ -39,6 +39,20 @@ val bind :
 
 val plan_of : bound -> Plan.t
 
+type farr = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type raw = {
+  r_slot_data : farr array;  (** per-slot raw storage *)
+  r_slot_tab : int array array;  (** per-slot last-dimension tables *)
+  r_out_data : farr;
+  r_out_tab : int array;
+}
+(** The bound's addressing handles, exposed so a generated kernel
+    ({!Codegen}) can be driven with the same storage and tables the
+    interpreter uses — which is what makes the two bit-identical. *)
+
+val raw_of : bound -> raw
+
 type driver
 (** Per-region mutable scratch over a shared {!bound} (slot row bases,
     coordinate scratch, the postfix stack). Not thread-safe; allocate
@@ -50,6 +64,13 @@ val set_row : driver -> int array -> unit
 (** [set_row drv outer] positions the driver on the row selected by the
     [rank - 1] leading interior coordinates (empty for rank 1):
     computes every slot's and the output's flat row base. *)
+
+val driver_row : driver -> int array
+(** The driver's per-slot flat row bases (the array {!set_row} fills;
+    stable across calls — read, never mutate). *)
+
+val driver_out_row : driver -> int
+(** The output row base of the row selected by the last {!set_row}. *)
 
 val eval : driver -> int -> float
 (** Value at last-dimension coordinate [x] of the current row. No

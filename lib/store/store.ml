@@ -543,9 +543,16 @@ let list_dir path =
   | entries -> Array.to_list entries
   | exception Sys_error _ -> []
 
-(* All committed entry files (temp files and other dotfiles skipped). *)
-let entry_files t =
+(* All committed entry files as (namespace-dir-name, path) pairs (temp
+   files and other dotfiles skipped). [ns] restricts the scan to one
+   namespace directory — schema-scoped maintenance never stats the
+   others. The directory name is the {e sanitized} namespace, which is
+   the namespace itself for every schema the code base uses. *)
+let entry_files_ns ?ns t =
   let objects = Filename.concat t.root "objects" in
+  let namespaces =
+    match ns with Some n -> [ sanitize n ] | None -> list_dir objects
+  in
   List.concat_map
     (fun ns ->
       let ns_dir = Filename.concat objects ns in
@@ -555,10 +562,12 @@ let entry_files t =
           List.filter_map
             (fun name ->
               if is_tmp name then None
-              else Some (Filename.concat bucket_dir name))
+              else Some (ns, Filename.concat bucket_dir name))
             (list_dir bucket_dir))
         (list_dir ns_dir))
-    (list_dir objects)
+    namespaces
+
+let entry_files t = List.map snd (entry_files_ns t)
 
 let verify t =
   if t.disabled then { scanned = 0; ok = 0; bad = 0 }
@@ -594,7 +603,7 @@ let file_info path =
   | st -> Some (st.Unix.st_mtime, st.Unix.st_size)
   | exception Unix.Unix_error _ -> None
 
-let gc ?max_age_s ?max_size_bytes t =
+let gc ?ns ?max_age_s ?max_size_bytes t =
   if t.disabled || not t.writable then
     { scanned = 0; removed = 0; kept = 0; bytes_removed = 0; bytes_kept = 0 }
   else
@@ -602,11 +611,11 @@ let gc ?max_age_s ?max_size_bytes t =
     let now = Unix.gettimeofday () in
     let files =
       List.filter_map
-        (fun p ->
+        (fun (_, p) ->
           match file_info p with
           | Some (mtime, size) -> Some (p, mtime, size)
           | None -> None)
-        (entry_files t)
+        (entry_files_ns ?ns t)
     in
     let removed = ref 0 and bytes_removed = ref 0 in
     let remove (p, _, size) =
@@ -650,8 +659,8 @@ let gc ?max_age_s ?max_size_bytes t =
     let tmp_age = 600.0 in
     let objects = Filename.concat t.root "objects" in
     List.iter
-      (fun ns ->
-        let ns_dir = Filename.concat objects ns in
+      (fun scanned_ns ->
+        let ns_dir = Filename.concat objects scanned_ns in
         List.iter
           (fun bucket ->
             let bucket_dir = Filename.concat ns_dir bucket in
@@ -666,7 +675,7 @@ let gc ?max_age_s ?max_size_bytes t =
                   | _ -> ())
               (list_dir bucket_dir))
           (list_dir ns_dir))
-      (list_dir objects);
+      (match ns with Some n -> [ sanitize n ] | None -> list_dir objects);
     let bytes_kept =
       List.fold_left (fun acc (_, _, s) -> acc + s) 0 keep
     in
@@ -675,6 +684,27 @@ let gc ?max_age_s ?max_size_bytes t =
       kept = List.length keep;
       bytes_removed = !bytes_removed;
       bytes_kept }
+
+type ns_usage = { ns : string; ns_entries : int; ns_bytes : int }
+
+let usage_by_ns t =
+  if t.disabled then []
+  else
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (ns, p) ->
+        let sz = match file_info p with Some (_, s) -> s | None -> 0 in
+        let entries, bytes =
+          match Hashtbl.find_opt tbl ns with
+          | Some (e, b) -> (e, b)
+          | None -> (0, 0)
+        in
+        Hashtbl.replace tbl ns (entries + 1, bytes + sz))
+      (entry_files_ns t);
+    Hashtbl.fold
+      (fun ns (ns_entries, ns_bytes) acc -> { ns; ns_entries; ns_bytes } :: acc)
+      tbl []
+    |> List.sort (fun a b -> compare a.ns b.ns)
 
 let usage t =
   if t.disabled then { entries = 0; bytes = 0; corrupt = 0 }

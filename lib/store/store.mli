@@ -118,15 +118,29 @@ type gc_report = {
   bytes_kept : int;
 }
 
-val gc : ?max_age_s:float -> ?max_size_bytes:int -> t -> gc_report
+val gc : ?ns:string -> ?max_age_s:float -> ?max_size_bytes:int -> t -> gc_report
 (** Expire entries older than [max_age_s], then evict oldest-first
     until at most [max_size_bytes] survive; also sweeps stale temp
-    files left by crashed writers. Runs under the ["gc"] lock. *)
+    files left by crashed writers. Runs under the ["gc"] lock. [ns]
+    scopes the whole collection to one schema namespace (e.g. evict
+    compiled kernels without touching tuning results); entries and
+    temp files of other namespaces are not even scanned. *)
 
 type usage = { entries : int; bytes : int; corrupt : int }
 
 val usage : t -> usage
 (** Committed entries, their total size, and quarantined file count. *)
+
+type ns_usage = {
+  ns : string;  (** schema namespace, e.g. ["ecm-v1"], ["kern-v1"] *)
+  ns_entries : int;
+  ns_bytes : int;
+}
+
+val usage_by_ns : t -> ns_usage list
+(** Per-schema breakdown of {!usage}'s committed entries, sorted by
+    namespace — how [yasksite store stats] shows where the bytes
+    (e.g. compiled kernels) live. *)
 
 (** {1 Counters} *)
 

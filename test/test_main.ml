@@ -5,6 +5,7 @@ let () =
       ("grid", Test_grid.suite);
       ("stencil", Test_stencil.suite);
       ("plan", Test_plan.suite);
+      ("codegen", Test_codegen.suite);
       ("cachesim", Test_cachesim.suite);
       ("ecm", Test_ecm.suite);
       ("engine", Test_engine.suite);
