@@ -1474,8 +1474,266 @@ let e19 () =
     Printf.printf "wrote bench/BENCH_codegen.json\n"
   end
 
+(* E20 — the YS6xx translation validator: cold proof cost per suite
+   kernel (pure static analysis, no toolchain needed), the kill rate of
+   the seeded miscompile corpus, and the warm-path cost of the native
+   certificate relative to kernel resolution (the gate must stay under
+   a few percent of a store-revived resolution). Writes
+   bench/BENCH_validate.json. *)
+
+let e20 () =
+  header "e20"
+    "Translation-validator cost and mutation kill rate \
+     (BENCH_validate.json)";
+  let module Native = Engine.Native in
+  let module Cert = Engine.Cert in
+  let module NL = Lint.Native in
+  let module Mis = Faults.Miscompile in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        Unix.rmdir path
+    | _ -> Unix.unlink path
+    | exception Unix.Unix_error _ -> ()
+  in
+  (* Every suite kernel × both layouts, with its emitted source. *)
+  let corpus =
+    List.concat_map
+      (fun spec ->
+        let spec = Stencil.Suite.resolve_defaults spec in
+        let plan = Stencil.Lower.lower spec in
+        let rank = spec.Stencil.Spec.rank in
+        let halo = Stencil.Analysis.halo (Stencil.Analysis.of_spec spec) in
+        let dims = Array.init rank (fun i -> max 8 ((2 * halo.(i)) + 1)) in
+        List.filter_map
+          (fun (lname, layout) ->
+            let space = Grid.fresh_space () in
+            let mk () = Grid.create ~space ~halo ~layout ~dims () in
+            let inputs =
+              Array.init spec.Stencil.Spec.n_fields (fun _ -> mk ())
+            in
+            let output = mk () in
+            let v = Stencil.Codegen.variant_of ~plan ~inputs ~output in
+            match Stencil.Codegen.source ~plan v with
+            | Error _ -> None
+            | Ok src -> Some (spec, lname, plan, v, inputs, src))
+          [ ("linear", Grid.Linear);
+            ( "folded",
+              Grid.Folded
+                (Array.init rank (fun i -> if i = rank - 1 then 4 else 1)) ) ])
+      Stencil.Suite.all
+  in
+  (* Cold proof cost: parse + symbolic comparison, best of 3 over a
+     small batch. *)
+  let reps = 50 in
+  let rows =
+    List.map
+      (fun (spec, lname, plan, v, inputs, src) ->
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let (), s =
+            time (fun () ->
+                for _ = 1 to reps do
+                  match NL.check ~plan ~variant:v ~inputs src with
+                  | [] -> ()
+                  | _ -> failwith "legal kernel rejected"
+                done)
+          in
+          if s < !best then best := s
+        done;
+        let ms = !best /. float_of_int reps *. 1e3 in
+        Printf.printf "%-16s %-6s  validate %.3f ms\n" spec.Stencil.Spec.name
+          lname ms;
+        (spec, lname, ms))
+      corpus
+  in
+  (* Mutation kill rate across the whole corpus. *)
+  let killed = ref 0 and total = ref 0 in
+  let by_class = Hashtbl.create 8 in
+  List.iter
+    (fun (_, _, plan, v, inputs, src) ->
+      List.iter
+        (fun (cls, mutant) ->
+          incr total;
+          let k, t =
+            match Hashtbl.find_opt by_class cls with
+            | Some (k, t) -> (k, t)
+            | None -> (0, 0)
+          in
+          let codes =
+            List.map
+              (fun (d : Lint.Diagnostic.t) -> d.Lint.Diagnostic.code)
+              (NL.check ~plan ~variant:v ~inputs mutant)
+          in
+          let hit = List.mem (Mis.expected_code cls) codes in
+          if hit then incr killed;
+          Hashtbl.replace by_class cls ((k + if hit then 1 else 0), t + 1))
+        (Mis.corpus ~seed:42 ~per_class:3 src))
+    corpus;
+  Printf.printf "mutation corpus: %d/%d killed (%.1f%%)\n" !killed !total
+    (100.0 *. float_of_int !killed /. float_of_int (max 1 !total));
+  List.iter
+    (fun cls ->
+      match Hashtbl.find_opt by_class cls with
+      | Some (k, t) ->
+          Printf.printf "  %-20s %d/%d\n" (Mis.class_name cls) k t
+      | None -> ())
+    Mis.classes;
+  (* Warm-path economics (needs the toolchain): a store-revived
+     resolution with a native certificate pays only digest + lookup;
+     without one it re-runs the full proof. *)
+  let warm =
+    if not (Native.available ()) then None
+    else begin
+      let root =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "yasksite-bench-validate-%d" (Unix.getpid ()))
+      in
+      rm_rf root;
+      Fun.protect
+        ~finally:(fun () ->
+          Native.reset_for_tests ();
+          Cert.clear ();
+          Cert.set_store None;
+          rm_rf root)
+      @@ fun () ->
+      let spec = Stencil.Suite.resolve_defaults Stencil.Suite.heat_2d_5pt in
+      let halo = Stencil.Analysis.halo (Stencil.Analysis.of_spec spec) in
+      let dims = [| 64; 64 |] in
+      let plan = Stencil.Lower.lower spec in
+      let mk () = Grid.create ~halo ~dims () in
+      let inputs = [| mk () |] and output = mk () in
+      let store () = Store.open_root root in
+      let attach ~certs =
+        Native.reset_for_tests ();
+        Cert.clear ();
+        Native.set_store (Some (store ()));
+        Cert.set_store (if certs then Some (store ()) else None)
+      in
+      (* Cold resolution: compile + full validation, certificate
+         written through. *)
+      attach ~certs:true;
+      (match Native.kern_for ~plan ~inputs ~output with
+      | Some _ -> ()
+      | None -> failwith "toolchain probe lied");
+      let resolve_once ~certs =
+        attach ~certs;
+        let r, s = time (fun () -> Native.kern_for ~plan ~inputs ~output) in
+        assert (r <> None);
+        (s, Native.stats ())
+      in
+      let best_of n f =
+        let best = ref infinity and last = ref None in
+        for _ = 1 to n do
+          let s, st = f () in
+          if s < !best then best := s;
+          last := Some st
+        done;
+        (!best, Option.get !last)
+      in
+      let warm_cert_s, cert_stats =
+        best_of 5 (fun () -> resolve_once ~certs:true)
+      in
+      let warm_val_s, val_stats =
+        best_of 5 (fun () -> resolve_once ~certs:false)
+      in
+      (* The gate's own cost on the certified path, measured directly:
+         digest of the source plus the certificate lookup. *)
+      let v = Stencil.Codegen.variant_of ~plan ~inputs ~output in
+      let src =
+        match Stencil.Codegen.source ~plan v with
+        | Ok s -> s
+        | Error e -> failwith e
+      in
+      attach ~certs:true;
+      ignore (Native.kern_for ~plan ~inputs ~output);
+      let ckey = Stencil.Codegen.key ~plan v in
+      let gate_reps = 200 in
+      let (), gate_total =
+        time (fun () ->
+            for _ = 1 to gate_reps do
+              let d = Digest.to_hex (Digest.string src) in
+              let k = Cert.native_key ~ckey ~version:NL.version in
+              match Cert.native_lookup k with
+              | Some d' when d' = d -> ()
+              | _ -> failwith "certificate missing"
+            done)
+      in
+      let gate_s = gate_total /. float_of_int gate_reps in
+      let overhead_pct = 100.0 *. gate_s /. warm_cert_s in
+      Printf.printf
+        "warm resolution (heat-2d-5pt, store-revived):\n\
+        \  with certificate     %.4f ms (validations %d)\n\
+        \  without certificate  %.4f ms (validations %d)\n\
+        \  certificate gate     %.4f ms = %.2f%% of the certified \
+         resolution\n"
+        (warm_cert_s *. 1e3) cert_stats.Native.validations (warm_val_s *. 1e3)
+        val_stats.Native.validations (gate_s *. 1e3) overhead_pct;
+      Some (warm_cert_s, warm_val_s, gate_s, overhead_pct,
+            cert_stats.Native.validations, val_stats.Native.validations)
+    end
+  in
+  let json =
+    let row_json (spec, lname, ms) =
+      Printf.sprintf
+        "    {\"stencil\": \"%s\", \"layout\": \"%s\", \
+         \"validate_ms\": %.4f}"
+        spec.Stencil.Spec.name lname ms
+    in
+    let class_json cls =
+      let k, t =
+        match Hashtbl.find_opt by_class cls with
+        | Some kt -> kt
+        | None -> (0, 0)
+      in
+      Printf.sprintf "    {\"class\": \"%s\", \"killed\": %d, \"total\": %d}"
+        (Mis.class_name cls) k t
+    in
+    Printf.sprintf
+      "{\n\
+      \  \"validator_version\": %d,\n\
+      \  \"kernels\": [\n%s\n  ],\n\
+      \  \"mutation\": {\n\
+      \    \"killed\": %d,\n\
+      \    \"total\": %d,\n\
+      \    \"kill_rate\": %.4f,\n\
+      \    \"by_class\": [\n%s\n    ]\n\
+      \  },\n\
+      \  \"warm_path\": %s\n\
+       }\n"
+      NL.version
+      (String.concat ",\n" (List.map row_json rows))
+      !killed !total
+      (float_of_int !killed /. float_of_int (max 1 !total))
+      (String.concat ",\n" (List.map class_json Mis.classes))
+      (match warm with
+      | None -> "{\"toolchain\": false}"
+      | Some (c, v_, g, pct, cv, vv) ->
+          Printf.sprintf
+            "{\n\
+            \    \"toolchain\": true,\n\
+            \    \"warm_certified_s\": %.6f,\n\
+            \    \"warm_validated_s\": %.6f,\n\
+            \    \"gate_s\": %.8f,\n\
+            \    \"gate_overhead_pct\": %.3f,\n\
+            \    \"certified_validations\": %d,\n\
+            \    \"uncertified_validations\": %d\n\
+            \  }"
+            c v_ g pct cv vv)
+  in
+  Out_channel.with_open_text "bench/BENCH_validate.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "wrote bench/BENCH_validate.json\n"
+
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
             ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
             ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
-            ("e19", e19) ]
+            ("e19", e19); ("e20", e20) ]

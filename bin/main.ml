@@ -754,6 +754,33 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "plan" ] ~doc)
   in
+  let native_arg =
+    let doc =
+      "Also run the YS6xx translation validator on each kernel input: \
+       the source the codegen backend would emit for the lowered plan \
+       is parsed back and statically proved equivalent to the plan \
+       (op-for-op IEEE-754 arithmetic and address arithmetic). Pure \
+       static analysis — no compiler is invoked."
+    in
+    Arg.(value & flag & info [ "native" ] ~doc)
+  in
+  let miscompile_arg =
+    let doc =
+      "With --native: inject a seeded miscompile of this class into the \
+       emitted source before validation, to demonstrate (or CI-check) \
+       that the validator rejects it. Classes: coeff-perturb, \
+       swap-assoc, offset-off-by-one, drop-term, wrong-slot, \
+       point-row-diverge, rename-registration."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "miscompile" ] ~docv:"CLASS" ~doc)
+  in
+  let fault_seed_arg =
+    let doc = "Seed for --miscompile site selection." in
+    Arg.(value & opt int 42 & info [ "fault-seed" ] ~docv:"N" ~doc)
+  in
   let format_arg =
     let doc =
       "Output format: $(b,text) (compiler-style, default) or $(b,json) \
@@ -764,18 +791,31 @@ let lint_cmd =
       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
       & info [ "format" ] ~docv:"FMT" ~doc)
   in
-  let run machine dims rank rules quiet schedule plan format threads block
-      fold wavefront nt stagger inputs =
+  let run machine dims rank rules quiet schedule plan native miscompile
+      fault_seed format threads block fold wavefront nt stagger inputs =
     protect @@ fun () ->
     if rules then begin
-      List.iter
-        (fun (code, sev, summary) ->
-          Printf.printf "%s  %-7s  %s\n" code
-            (Lint.Diagnostic.severity_label sev)
-            summary)
-        Lint.rules;
+      (match format with
+      | `Json -> print_string (Lint.Diagnostic.rules_to_json Lint.rules)
+      | `Text -> print_string (Lint.Diagnostic.rules_to_text Lint.rules));
       exit 0
     end;
+    let miscompile_cls =
+      match miscompile with
+      | None -> None
+      | Some name -> (
+          match Faults.Miscompile.class_of_name name with
+          | Some _ as c -> c
+          | None ->
+              or_die
+                (Error
+                   (`Msg
+                     (Printf.sprintf
+                        "unknown miscompile class %S (one of: %s)" name
+                        (String.concat ", "
+                           (List.map Faults.Miscompile.class_name
+                              Faults.Miscompile.classes))))))
+    in
     let dims = or_die (dims_of_string dims) in
     let rank = match rank with Some r -> r | None -> Array.length dims in
     let worst = ref 0 in
@@ -847,6 +887,44 @@ let lint_cmd =
         report
           ~origin:(origin ^ " (plan)")
           (Lint.Plan.check ~info p ~inputs ~output:(mk ()))
+      end;
+      if native then begin
+        let info = Stencil.Analysis.of_spec spec in
+        let p = Stencil.Lower.lower spec in
+        let halo = Stencil.Analysis.halo info in
+        let krank = spec.Stencil.Spec.rank in
+        (* Same proxy-extent rule as --plan: the proof is
+           extent-independent. *)
+        let gdims =
+          if Array.length dims = krank then dims
+          else Array.init krank (fun i -> max 8 ((2 * halo.(i)) + 1))
+        in
+        let space = Grid.fresh_space () in
+        let mk () = Grid.create ~space ~halo ~dims:gdims () in
+        let inputs =
+          Array.init spec.Stencil.Spec.n_fields (fun _ -> mk ())
+        in
+        let output = mk () in
+        let v = Stencil.Codegen.variant_of ~plan:p ~inputs ~output in
+        match Stencil.Codegen.source ~plan:p v with
+        | Error reason ->
+            Printf.eprintf
+              "yasksite: lint: %s: codegen emits no kernel for this plan \
+               (%s); nothing to validate\n"
+              origin reason
+        | Ok src ->
+            let src =
+              match miscompile_cls with
+              | None -> src
+              | Some cls ->
+                  or_die
+                    (Result.map_error
+                       (fun e -> `Msg (origin ^ ": miscompile: " ^ e))
+                       (Faults.Miscompile.mutate ~seed:fault_seed cls src))
+            in
+            report ~src
+              ~origin:(origin ^ " (native)")
+              (Lint.Native.check ~plan:p ~variant:v ~inputs src)
       end
     in
     let lint_kernel_source ?src_origin ~origin src =
@@ -901,8 +979,9 @@ let lint_cmd =
              before any model run (exit 1 on errors)")
     Term.(
       const run $ machine_arg $ dims_arg $ rank_arg $ rules_arg $ quiet_arg
-      $ schedule_arg $ plan_arg $ format_arg $ threads_arg $ block_arg
-      $ fold_arg $ wavefront_arg $ nt_arg $ stagger_arg $ inputs_arg)
+      $ schedule_arg $ plan_arg $ native_arg $ miscompile_arg
+      $ fault_seed_arg $ format_arg $ threads_arg $ block_arg $ fold_arg
+      $ wavefront_arg $ nt_arg $ stagger_arg $ inputs_arg)
 
 let methods_cmd =
   let pde_arg =
@@ -1027,21 +1106,34 @@ let store_cmd =
       protect @@ fun () ->
       let s = open_store root in
       let r = Store.verify s in
+      (* Healthy-but-stale kern-v1 payloads (legacy headerless, old
+         codegen ABI, or a toolchain this machine no longer has) are
+         reported, not quarantined: they are valid entries nothing
+         will ever read again. [store gc --stale] drops them. The
+         exit code stays corruption-only. *)
+      let stale = List.length (Engine.Native.stale_kernels s) in
       if json then
         print_endline
           (Printf.sprintf
-             "{\"root\":%S,\"scanned\":%d,\"ok\":%d,\"bad\":%d}"
-             (Store.root s) r.Store.scanned r.Store.ok r.Store.bad)
-      else
+             "{\"root\":%S,\"scanned\":%d,\"ok\":%d,\"bad\":%d,\"stale\":%d}"
+             (Store.root s) r.Store.scanned r.Store.ok r.Store.bad stale)
+      else begin
         Printf.printf
           "verified %s: %d scanned, %d ok, %d bad (quarantined)\n"
           (Store.root s) r.Store.scanned r.Store.ok r.Store.bad;
+        if stale > 0 then
+          Printf.printf
+            "%d stale kern-v1 payload(s) (old ABI or toolchain; run \
+             `store gc --stale` to drop)\n"
+            stale
+      end;
       exit (if r.Store.bad > 0 then 1 else 0)
     in
     Cmd.v
       (Cmd.info "verify"
          ~doc:"Check every entry's header, checksum and content address, \
-               quarantining invalid ones (exit 1 if any were found)")
+               quarantining invalid ones (exit 1 if any were found); also \
+               reports stale compiled-kernel payloads")
       Term.(const run $ root_arg $ json_arg)
   in
   let gc_cmd =
@@ -1064,29 +1156,44 @@ let store_cmd =
       in
       Arg.(value & opt (some string) None & info [ "ns" ] ~docv:"NS" ~doc)
     in
-    let run root json max_age max_size ns =
+    let stale_arg =
+      let doc =
+        "Also drop stale $(b,kern-v1) payloads: compiled kernels whose \
+         metadata header names an old codegen ABI or a toolchain other \
+         than this machine's (plus legacy headerless entries). They are \
+         unreachable — the store key binds the toolchain — so this only \
+         reclaims bytes."
+      in
+      Arg.(value & flag & info [ "stale" ] ~doc)
+    in
+    let run root json max_age max_size ns stale =
       protect @@ fun () ->
       let s = open_store root in
+      let stale_removed = if stale then Engine.Native.gc_stale s else 0 in
       let r = Store.gc ?ns ?max_age_s:max_age ?max_size_bytes:max_size s in
       if json then
         print_endline
           (Printf.sprintf
              "{\"root\":%S,\"scanned\":%d,\"removed\":%d,\"kept\":%d,\
-              \"bytes_removed\":%d,\"bytes_kept\":%d}"
+              \"bytes_removed\":%d,\"bytes_kept\":%d,\"stale_removed\":%d}"
              (Store.root s) r.Store.scanned r.Store.removed r.Store.kept
-             r.Store.bytes_removed r.Store.bytes_kept)
-      else
+             r.Store.bytes_removed r.Store.bytes_kept stale_removed)
+      else begin
         Printf.printf
           "gc %s: %d scanned, %d removed (%d bytes), %d kept (%d bytes)\n"
           (Store.root s) r.Store.scanned r.Store.removed r.Store.bytes_removed
-          r.Store.kept r.Store.bytes_kept
+          r.Store.kept r.Store.bytes_kept;
+        if stale then
+          Printf.printf "stale kern-v1 payloads removed: %d\n" stale_removed
+      end
     in
     Cmd.v
       (Cmd.info "gc"
          ~doc:"Expire old entries, bound the store's size, and sweep stale \
                temp files")
       Term.(
-        const run $ root_arg $ json_arg $ max_age_arg $ max_size_arg $ ns_arg)
+        const run $ root_arg $ json_arg $ max_age_arg $ max_size_arg $ ns_arg
+        $ stale_arg)
   in
   let path_cmd =
     let run root =

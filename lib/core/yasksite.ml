@@ -13,6 +13,7 @@ module Stencil = struct
   module Plan = Yasksite_stencil.Plan
   module Lower = Yasksite_stencil.Lower
   module Codegen = Yasksite_stencil.Codegen
+  module Kernel_ast = Yasksite_stencil.Kernel_ast
   module Gen = Yasksite_stencil.Gen
   module Parser = Yasksite_stencil.Parser
 end
@@ -45,6 +46,7 @@ module Faults = struct
   module Retry = Yasksite_faults.Retry
   module Checkpoint = Yasksite_faults.Checkpoint
   module Io = Yasksite_faults.Io
+  module Miscompile = Yasksite_faults.Miscompile
 end
 
 module Store = Yasksite_store.Store

@@ -52,6 +52,11 @@ module Stencil : sig
       {!Engine.Sweep}'s codegen backend ({!Engine.Native} builds,
       loads and caches what this emits). *)
 
+  module Kernel_ast = Yasksite_stencil.Kernel_ast
+  (** Checked AST of the units {!Codegen} emits — the shared grammar
+      of the YS6xx translation validator ({!Lint.Native}) and the
+      seeded miscompile injector ({!Faults.Miscompile}). *)
+
   module Gen = Yasksite_stencil.Gen
   module Parser = Yasksite_stencil.Parser
 end
@@ -107,6 +112,11 @@ module Faults : sig
   (** Seeded filesystem-fault injection (ENOSPC/EIO/torn writes/crash
       points) — the harness the {!Store} crash-consistency property is
       proven under. *)
+
+  module Miscompile = Yasksite_faults.Miscompile
+  (** Seeded miscompile injector: structural mutations of emitted
+      kernel source, each of which the YS6xx translation validator
+      ({!Lint.Native}) must reject with its expected code. *)
 end
 
 module Store = Yasksite_store.Store

@@ -130,8 +130,52 @@ let insert e =
 
 let size () = Mutex.protect mutex (fun () -> Hashtbl.length store)
 
+(* ------------------------------------------------------------------ *)
+(* Native translation certificates (YS6xx).
+
+   A native certificate records that one emitted kernel source passed
+   the YS6xx translation validator (Lint.Native) under one validator
+   version. The key is derived from the codegen cache key plus the
+   validator version (so a rule change re-proves everything); the
+   payload is the digest of the exact source that was validated, so a
+   certificate can never bless a source it was not computed from.
+   Shares the "cert-v1" namespace of the persistent backing: one
+   store schema carries both safety and translation proofs. *)
+
+let native_store : (string, string) Hashtbl.t = Hashtbl.create 32
+
+let native_key ~ckey ~version = Printf.sprintf "native:%s:v%d" ckey version
+
+let native_lookup k =
+  if not (enabled ()) then None
+  else
+    match Mutex.protect mutex (fun () -> Hashtbl.find_opt native_store k) with
+    | Some _ as hit -> hit
+    | None -> (
+        match Mutex.protect mutex (fun () -> !persistent) with
+        | None -> None
+        | Some s -> (
+            match Yasksite_store.Store.get s ~ns:store_ns ~key:k with
+            | None -> None
+            | Some digest ->
+                Mutex.protect mutex (fun () ->
+                    Hashtbl.replace native_store k digest);
+                Some digest))
+
+let native_insert k ~digest =
+  if enabled () then begin
+    Mutex.protect mutex (fun () -> Hashtbl.replace native_store k digest);
+    match Mutex.protect mutex (fun () -> !persistent) with
+    | None -> ()
+    | Some s -> Yasksite_store.Store.put s ~ns:store_ns ~key:k digest
+  end
+
+let native_size () = Mutex.protect mutex (fun () -> Hashtbl.length native_store)
+
 let clear () =
-  Mutex.protect mutex (fun () -> Hashtbl.reset store);
+  Mutex.protect mutex (fun () ->
+      Hashtbl.reset store;
+      Hashtbl.reset native_store);
   Atomic.set fast_hits 0
 
 let record_fast_path () = Atomic.incr fast_hits

@@ -54,6 +54,28 @@ val insert : entry -> unit
 
 val size : unit -> int
 
+(** {1 Native translation certificates}
+
+    Records that one emitted kernel source passed the YS6xx translation
+    validator ({!Yasksite_lint.Native_lint}). The payload is the digest
+    of the exact validated source, so a certificate can only bless the
+    bytes it was computed from. Shares the ["cert-v1"] persistent
+    namespace and the [YASKSITE_NO_CERT] kill switch. *)
+
+val native_key : ckey:string -> version:int -> string
+(** Certificate key for one codegen cache key under one validator
+    version — bumping the validator version re-proves everything. *)
+
+val native_lookup : string -> string option
+(** The recorded source digest, or [None] when absent or disabled. *)
+
+val native_insert : string -> digest:string -> unit
+(** Record a passing verdict (write-through when backed). No-op when
+    disabled. *)
+
+val native_size : unit -> int
+(** In-memory native certificates (test observability). *)
+
 val clear : unit -> unit
 (** Drop every certificate and reset the fast-path counter (test
     isolation). *)

@@ -43,6 +43,8 @@ type stats = {
   load_errors : int;  (** failed loads (corrupt payloads recompile) *)
   fallbacks : int;  (** resolutions that fell back to the interpreter *)
   gate_rejections : int;  (** plans the YS5xx verifier refused *)
+  validations : int;  (** YS6xx translation-validator runs *)
+  validator_rejections : int;  (** sources the YS6xx validator refused *)
 }
 
 let store_ns = "kern-v1"
@@ -58,8 +60,17 @@ and loads = ref 0
 and load_errors = ref 0
 and fallbacks = ref 0
 and gate_rejections = ref 0
+and validations = ref 0
+and validator_rejections = ref 0
 
 let warned = ref false
+
+(* Test hook: rewrite the emitted source between Codegen.source and the
+   translation validator — how the suite injects miscompiles into the
+   real resolution path without teaching Codegen to lie. *)
+let source_transform : (string -> string) option ref = ref None
+
+let set_source_transform f = Mutex.protect mutex (fun () -> source_transform := f)
 
 (* Persistent backing, mirroring Cert: [None] until the CLI (or a
    bench/test) attaches one — library use stays hermetic by default. *)
@@ -188,6 +199,68 @@ let store_key ~ckey ~version ~flags =
     (Digest.string
        (String.concat "\x00" (ckey :: version :: flags)))
 
+(* ---- kern-v1 payload metadata ----
+
+   Compiled bytes are committed with a four-line header (magic, codegen
+   ABI, compiler version, compile flags). The store key already binds
+   compiler version and flags, so a stale entry can never shadow a
+   current one — the header exists so store-side tooling ([store
+   verify], [store gc --stale]) can recognize payloads no toolchain on
+   this machine will ever ask for again, without re-deriving every
+   specialization key. Headerless payloads from before the header
+   existed are legacy: loaded as-is and upgraded in place on success,
+   but reported stale by the scan. *)
+
+let payload_magic = "yasksite-kern-payload v1"
+
+let encode_payload ~version ~flags bytes =
+  Printf.sprintf "%s\n%d\n%s\n%s\n%s" payload_magic Codegen.abi version
+    (String.concat " " flags) bytes
+
+(* [Some (abi, compiler_version, flags_line, bytes)] when [raw] carries
+   the header; [None] for legacy raw cmxs bytes. *)
+let decode_payload raw =
+  let line i =
+    match String.index_from_opt raw i '\n' with
+    | None -> None
+    | Some j -> Some (String.sub raw i (j - i), j + 1)
+  in
+  match line 0 with
+  | Some (m, i) when m = payload_magic -> (
+      match line i with
+      | None -> None
+      | Some (abi, i) -> (
+          match line i with
+          | None -> None
+          | Some (ver, i) -> (
+              match line i with
+              | None -> None
+              | Some (fl, i) ->
+                  Some (abi, ver, fl, String.sub raw i (String.length raw - i)))))
+  | _ -> None
+
+let payload_stale ~toolchain raw =
+  match decode_payload raw with
+  | None -> true  (* legacy, headerless *)
+  | Some (abi, ver, fl, _) ->
+      abi <> string_of_int Codegen.abi
+      || (match toolchain with
+         | None -> false  (* no compiler here: cannot judge the version *)
+         | Some (v, flags) -> ver <> v || fl <> String.concat " " flags)
+
+let toolchain_id () = Mutex.protect mutex (fun () -> probe ())
+
+let stale_kernels s =
+  let tc = toolchain_id () in
+  List.rev
+    (Store.fold_ns s ~ns:store_ns ~init:[] (fun acc ~key ~payload ->
+         if payload_stale ~toolchain:tc payload then key :: acc else acc))
+
+let gc_stale s =
+  List.fold_left
+    (fun n key -> if Store.delete s ~ns:store_ns ~key then n + 1 else n)
+    0 (stale_kernels s)
+
 let warn_once reason =
   if not !warned then begin
     warned := true;
@@ -209,7 +282,7 @@ let load_kern ~path ~name =
           in
           Ok { Codegen.row; point })
 
-let compile_fresh ~src ~ckey ~name ~store ~skey =
+let compile_fresh ~src ~ckey ~name ~store ~skey ~version ~flags =
   let base = fresh_base ckey in
   let cmxs = base ^ ".cmxs" in
   let ml = base ^ ".ml" in
@@ -243,7 +316,9 @@ let compile_fresh ~src ~ckey ~name ~store ~skey =
           (match store with
           | Some s when Store.writable s -> (
               match read_file cmxs with
-              | Some bytes -> Store.put s ~ns:store_ns ~key:skey bytes
+              | Some bytes ->
+                  Store.put s ~ns:store_ns ~key:skey
+                    (encode_payload ~version ~flags bytes)
               | None -> ())
           | _ -> ());
           Ok k)
@@ -271,30 +346,100 @@ let resolve ~(plan : Plan.t) ~inputs ~output ~v ~ckey =
           match Codegen.source ~plan v with
           | Error reason -> Error ("unsupported plan: " ^ reason)
           | Ok src -> (
-              let name = Codegen.callback_name ckey in
-              let store = !persistent in
-              let skey = store_key ~ckey ~version ~flags in
-              let cached =
-                match store with
-                | None -> None
-                | Some s -> Store.get s ~ns:store_ns ~key:skey
+              let src =
+                match !source_transform with None -> src | Some f -> f src
               in
-              match cached with
-              | Some bytes -> (
-                  let cmxs = fresh_base ckey ^ ".cmxs" in
-                  write_file cmxs bytes;
-                  match load_kern ~path:cmxs ~name with
-                  | Ok k ->
-                      incr store_hits;
-                      incr loads;
-                      Ok k
-                  | Error _ ->
-                      (* A stored payload that no longer loads (corrupt,
-                         stale compiler) is recompiled; the write-through
-                         repairs the slot. *)
-                      incr load_errors;
-                      compile_fresh ~src ~ckey ~name ~store ~skey)
-              | None -> compile_fresh ~src ~ckey ~name ~store ~skey))
+              (* Translation validation (YS6xx): prove the emitted
+                 source IS the plan before anything is compiled,
+                 revived or loaded. A passing verdict earns a native
+                 certificate (cache key × validator version, payload
+                 the digest of the validated bytes), so warm paths —
+                 memo misses re-resolving a store-revived kernel in a
+                 later process — skip the proof. *)
+              let src_digest = Digest.to_hex (Digest.string src) in
+              let nkey =
+                Cert.native_key ~ckey ~version:Lint.Native.version
+              in
+              let verdict =
+                match Cert.native_lookup nkey with
+                | Some d when d = src_digest -> Ok ()
+                | _ -> (
+                    incr validations;
+                    match Lint.Native.validate ~plan ~variant:v ~inputs src with
+                    | Ok () ->
+                        Cert.native_insert nkey ~digest:src_digest;
+                        Ok ()
+                    | Error ds ->
+                        incr validator_rejections;
+                        let first =
+                          match ds with
+                          | d :: _ ->
+                              Printf.sprintf "%s: %s" d.D.code d.D.message
+                          | [] -> "unknown"
+                        in
+                        Error
+                          ("translation validator rejected the emitted \
+                            kernel (" ^ first ^ ")"))
+              in
+              match verdict with
+              | Error msg -> Error msg
+              | Ok () -> (
+                  let name = Codegen.callback_name ckey in
+                  let store = !persistent in
+                  let skey = store_key ~ckey ~version ~flags in
+                  let cached =
+                    match store with
+                    | None -> None
+                    | Some s -> Store.get s ~ns:store_ns ~key:skey
+                  in
+                  match cached with
+                  | Some raw -> (
+                      (* Strip the payload header; a header naming a
+                         different ABI or toolchain in this slot means
+                         the entry is stale or mis-filed — recompile
+                         and let the write-through repair it. *)
+                      let revived =
+                        match decode_payload raw with
+                        | None -> Some (true, raw)  (* legacy payload *)
+                        | Some (abi, ver, fl, bytes) ->
+                            if
+                              abi = string_of_int Codegen.abi
+                              && ver = version
+                              && fl = String.concat " " flags
+                            then Some (false, bytes)
+                            else None
+                      in
+                      match revived with
+                      | None ->
+                          incr load_errors;
+                          compile_fresh ~src ~ckey ~name ~store ~skey
+                            ~version ~flags
+                      | Some (legacy, bytes) -> (
+                          let cmxs = fresh_base ckey ^ ".cmxs" in
+                          write_file cmxs bytes;
+                          match load_kern ~path:cmxs ~name with
+                          | Ok k ->
+                              incr store_hits;
+                              incr loads;
+                              (* A legacy payload that still loads is
+                                 upgraded in place with the header. *)
+                              (if legacy then
+                                 match store with
+                                 | Some s when Store.writable s ->
+                                     Store.put s ~ns:store_ns ~key:skey
+                                       (encode_payload ~version ~flags bytes)
+                                 | _ -> ());
+                              Ok k
+                          | Error _ ->
+                              (* A stored payload that no longer loads
+                                 (corrupt, stale compiler) is recompiled;
+                                 the write-through repairs the slot. *)
+                              incr load_errors;
+                              compile_fresh ~src ~ckey ~name ~store ~skey
+                                ~version ~flags))
+                  | None ->
+                      compile_fresh ~src ~ckey ~name ~store ~skey ~version
+                        ~flags)))
 
 let resolve_safe ~plan ~inputs ~output ~v ~ckey =
   match resolve ~plan ~inputs ~output ~v ~ckey with
@@ -332,15 +477,18 @@ let stats () =
         loads = !loads;
         load_errors = !load_errors;
         fallbacks = !fallbacks;
-        gate_rejections = !gate_rejections })
+        gate_rejections = !gate_rejections;
+        validations = !validations;
+        validator_rejections = !validator_rejections })
 
 let stats_json () =
   let s = stats () in
   Printf.sprintf
     "{\"compiles\":%d,\"compile_errors\":%d,\"store_hits\":%d,\"loads\":%d,\
-     \"load_errors\":%d,\"fallbacks\":%d,\"gate_rejections\":%d}"
+     \"load_errors\":%d,\"fallbacks\":%d,\"gate_rejections\":%d,\
+     \"validations\":%d,\"validator_rejections\":%d}"
     s.compiles s.compile_errors s.store_hits s.loads s.load_errors s.fallbacks
-    s.gate_rejections
+    s.gate_rejections s.validations s.validator_rejections
 
 let reset_for_tests () =
   Mutex.protect mutex (fun () ->
@@ -352,6 +500,9 @@ let reset_for_tests () =
       load_errors := 0;
       fallbacks := 0;
       gate_rejections := 0;
+      validations := 0;
+      validator_rejections := 0;
       warned := false;
       toolchain := None;
+      source_transform := None;
       persistent := None)

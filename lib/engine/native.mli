@@ -30,6 +30,10 @@ type stats = {
   load_errors : int;  (** failed loads (corrupt payloads recompile) *)
   fallbacks : int;  (** resolutions that fell back to the interpreter *)
   gate_rejections : int;  (** plans the YS5xx verifier refused *)
+  validations : int;  (** YS6xx translation-validator runs *)
+  validator_rejections : int;
+      (** emitted sources the YS6xx validator refused (each also falls
+          back to the interpreter) *)
 }
 
 val store_ns : string
@@ -52,6 +56,47 @@ val available : unit -> bool
 val set_store : Yasksite_store.Store.t option -> unit
 (** Attach ([Some s]) or detach ([None], the initial state) the
     persistent backing for compiled kernels. *)
+
+(** {1 Translation validation (YS6xx)}
+
+    Every resolution — memo miss, store revival, fresh compile — runs
+    the emitted source through {!Yasksite_lint.Native_lint} before any
+    compiler or [Dynlink] sees it; a rejection degrades to the
+    interpreter like every other failure. A passing verdict earns a
+    native certificate ({!Cert.native_insert}) keyed off the cache key
+    and validator version with the source digest as payload, so warm
+    paths skip re-proving an unchanged kernel. *)
+
+val set_source_transform : (string -> string) option -> unit
+(** Test hook: rewrite the emitted source before validation (and
+    compilation). How the suite injects
+    {!Yasksite_faults.Miscompile} mutants into the real resolution
+    path. [None] (the initial state) disables. Cleared by
+    {!reset_for_tests}. *)
+
+(** {1 Stale-payload maintenance}
+
+    [kern-v1] payloads carry a metadata header (codegen ABI, compiler
+    version, compile flags). The store key already binds the
+    toolchain, so stale entries are unreachable — these helpers let
+    store tooling find and drop them. *)
+
+val toolchain_id : unit -> (string * string list) option
+(** The probed [(compiler_version, compile_flags)], or [None] when no
+    kernel can be built here. *)
+
+val payload_stale : toolchain:(string * string list) option -> string -> bool
+(** Whether a raw [kern-v1] payload is stale: headerless (legacy), a
+    different codegen ABI, or — when [toolchain] is known — a
+    different compiler version or flag set. *)
+
+val stale_kernels : Yasksite_store.Store.t -> string list
+(** Store keys of stale [kern-v1] entries under the probed
+    toolchain. *)
+
+val gc_stale : Yasksite_store.Store.t -> int
+(** Delete every stale [kern-v1] entry; returns how many were
+    removed. *)
 
 val stats : unit -> stats
 (** Process-wide kernel-cache counters. *)

@@ -157,6 +157,32 @@ let to_json ?src ?(origin = "input") d =
     (severity_label d.severity)
     (json_escape d.message) (loc_to_json ?src d.loc)
 
+(* The rule table, rendered once for every subcommand: [yasksite lint
+   --rules] in both text and JSON uses this, so the families can never
+   drift apart across entry points. *)
+
+let rules_to_text rules =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (code, sev, what) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-6s %-8s %s\n" code (severity_label sev) what))
+    rules;
+  Buffer.contents buf
+
+let rules_to_json rules =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf {|{"version":1,"rules":[|};
+  List.iteri
+    (fun i (code, sev, what) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n  {\"code\":\"%s\",\"severity\":\"%s\",\"summary\":\"%s\"}"
+           (json_escape code) (severity_label sev) (json_escape what)))
+    rules;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
 let report_to_json items =
   let buf = Buffer.create 512 in
   Buffer.add_string buf {|{"version":1,"findings":[|};

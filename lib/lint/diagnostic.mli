@@ -69,6 +69,15 @@ val to_json : ?src:string -> ?origin:string -> t -> string
     [{"kind":"line","line":...}] or [{"kind":"span","pos","stop"}] —
     span locations gain 1-based ["line"]/["col"] when [src] is given. *)
 
+val rules_to_text : (string * severity * string) list -> string
+(** Render a rule table (code, severity, summary — see {!Lint.rules})
+    as aligned text, one rule per line. *)
+
+val rules_to_json : (string * severity * string) list -> string
+(** Render a rule table as one JSON document:
+    [{"version":1,"rules":[{"code","severity","summary"},...]}]. The
+    single renderer behind [yasksite lint --rules] in every format. *)
+
 val report_to_json : (string * string option * t) list -> string
 (** Render a whole lint run as one JSON document:
     [{"version":1,"findings":[...],"summary":{"errors","warnings",

@@ -4,6 +4,7 @@ module Machine = Machine_lint
 module Config = Config_lint
 module Schedule = Schedule_lint
 module Plan = Plan_lint
+module Native = Native_lint
 
 let rules =
   [ ("YS100", Diagnostic.Error, "kernel source does not parse");
@@ -84,7 +85,29 @@ let rules =
     ("YS510", Diagnostic.Error, "plan FLOP/byte counts disagree with the \
                                  kernel analysis");
     ("YS511", Diagnostic.Error, "certification: traced traffic disagrees \
-                                 with the certified counts") ]
+                                 with the certified counts");
+    ("YS600", Diagnostic.Error, "emitted kernel unit does not parse / \
+                                 deviates from the generated shape");
+    ("YS601", Diagnostic.Error, "coefficient literal does not round-trip \
+                                 the plan coefficient bit-exactly");
+    ("YS602", Diagnostic.Error, "kernel expression structure diverges from \
+                                 the plan (operation order/associativity)");
+    ("YS603", Diagnostic.Error, "dropped or extra term in an emitted sum");
+    ("YS604", Diagnostic.Error, "address shift disagrees with the \
+                                 specialization variant");
+    ("YS605", Diagnostic.Error, "load reads the wrong access-table slot");
+    ("YS606", Diagnostic.Error, "addressing mode disagrees with the \
+                                 variant's unit-stride flag");
+    ("YS607", Diagnostic.Error, "emitted access escapes the certified halo \
+                                 bounds");
+    ("YS608", Diagnostic.Error, "output addressing disagrees with the \
+                                 variant (pad or stride mode)");
+    ("YS609", Diagnostic.Error, "kern_point and kern_row compute different \
+                                 expressions");
+    ("YS610", Diagnostic.Error, "kernel registration name/ABI mismatch");
+    ("YS611", Diagnostic.Error, "prelude binds the wrong source slot");
+    ("YS612", Diagnostic.Error, "plan cannot be symbolically evaluated for \
+                                 validation") ]
 
 let exit_code = Diagnostic.exit_code
 

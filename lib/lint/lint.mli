@@ -13,6 +13,7 @@ module Machine = Machine_lint
 module Config = Config_lint
 module Schedule = Schedule_lint
 module Plan = Plan_lint
+module Native = Native_lint
 
 val rules : (string * Diagnostic.severity * string) list
 (** The full rule table (code, default severity, one-line summary) —

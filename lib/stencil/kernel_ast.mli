@@ -1,0 +1,62 @@
+(** The checked kernel AST: concrete syntax of the units {!Codegen}
+    emits, with a parser and printer over exactly that grammar.
+
+    {!Codegen.source} produces one small shape — a [farr] type alias,
+    [kern_point]/[kern_row] whose bodies are prelude bindings plus a
+    fully parenthesized float expression over unsafe loads, and a
+    [Callback.register] — and this module round-trips it: {!parse}
+    accepts precisely the emitted forms (hex-float literals, dotted
+    stdlib paths, both output-loop modes) and nothing more, {!print}
+    re-emits an AST in the generator's shape such that
+    [parse (print ast) = Ok ast].
+
+    Syntax lives here; judgment lives elsewhere: the YS6xx translation
+    validator ({!Yasksite_lint.Native_lint}) compares parsed ASTs
+    against the plan IR, and the seeded miscompile injector
+    ({!Yasksite_faults.Miscompile}) mutates them structurally — both
+    share this one grammar without a dependency cycle. *)
+
+type binop = Add | Sub | Mul | Div
+
+type addr =
+  | Unit_addr of { data : int; row : int; shift : int }
+      (** [d<data>.(r<row> + x + shift)] — unit-stride grid *)
+  | Tab_addr of { data : int; row : int; tab : int; shift : int }
+      (** [d<data>.(r<row> + t<tab>.(x + shift))] — folded layout *)
+
+type expr =
+  | Lit of float
+  | Get of addr
+  | Neg of expr
+  | Bin of binop * expr * expr
+
+type bind =
+  | Bind_data of { name : int; src : int }
+      (** [let d<name> = slot_data.(src)] *)
+  | Bind_tab of { name : int; src : int }
+      (** [let t<name> = slot_tab.(src)] *)
+  | Bind_row of { name : int; src : int }  (** [let r<name> = row.(src)] *)
+
+type out_addr =
+  | Out_unit of { lp : int }  (** running flat offset, unit-stride output *)
+  | Out_tab of { lp : int }  (** per-point [out_tab] lookup *)
+
+type unit_ast = {
+  point_binds : bind list;
+  point_expr : expr;
+  row_binds : bind list;
+  row_out : out_addr;
+  row_expr : expr;
+  reg_name : string;  (** the [Callback.register] name *)
+}
+
+val parse : string -> (unit_ast, string * int) result
+(** Parse an emitted kernel unit. [Error (reason, line)] when the
+    source deviates from the generated grammar in any way. *)
+
+val print : unit_ast -> string
+(** Re-emit an AST in the generator's source shape.
+    [parse (print ast) = Ok ast] for every AST {!parse} returns. *)
+
+val expr_str : expr -> string
+(** One expression in emitted syntax (diagnostic rendering). *)

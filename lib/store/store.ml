@@ -458,6 +458,19 @@ let put t ~ns ~key payload =
 
 let mem t ~ns ~key = get t ~ns ~key <> None
 
+let delete t ~ns ~key =
+  if t.disabled || not t.writable then false
+  else begin
+    let path = entry_path t ~ns ~key in
+    try
+      guard t Io.Unlink;
+      Unix.unlink path;
+      true
+    with
+    | Io.Crashed _ as e -> raise e
+    | Unix.Unix_error _ | Sys_error _ | Failure _ -> false
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Advisory locks                                                      *)
 
@@ -568,6 +581,23 @@ let entry_files_ns ?ns t =
     namespaces
 
 let entry_files t = List.map snd (entry_files_ns t)
+
+let fold_ns t ~ns ~init f =
+  if t.disabled then init
+  else
+    List.fold_left
+      (fun acc (_, path) ->
+        match read_file t path with
+        | Some raw -> (
+            match decode raw with
+            | Ok (ns', key, payload) when ns' = sanitize ns ->
+                f acc ~key ~payload
+            | Ok _ | Error _ -> acc)
+        | None -> acc
+        | exception (Io.Crashed _ as e) -> raise e
+        | exception (Unix.Unix_error _ | Sys_error _ | Failure _) -> acc)
+      init
+      (entry_files_ns ~ns t)
 
 let verify t =
   if t.disabled then { scanned = 0; ok = 0; bad = 0 }

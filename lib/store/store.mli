@@ -87,6 +87,23 @@ val put : t -> ns:string -> key:string -> string -> unit
 
 val mem : t -> ns:string -> key:string -> bool
 
+val delete : t -> ns:string -> key:string -> bool
+(** Remove the committed entry under (ns, key), if any. [true] iff an
+    entry was actually unlinked. Absorbs filesystem errors like every
+    other operation; a disabled or read-only store returns [false]. *)
+
+val fold_ns :
+  t ->
+  ns:string ->
+  init:'a ->
+  ('a -> key:string -> payload:string -> 'a) ->
+  'a
+(** Fold over every healthy committed entry of one namespace — how
+    schema-aware maintenance (e.g. flagging stale [kern-v1] payloads)
+    enumerates entries without knowing the key set in advance.
+    Entries that fail to read or decode are skipped, not quarantined
+    (that is {!verify}'s job). Order is unspecified. *)
+
 (** {1 Advisory locks} *)
 
 val with_lock : ?wait_s:float -> t -> name:string -> (unit -> 'a) -> 'a

@@ -17,5 +17,6 @@ let () =
       ("offsite", Test_offsite.suite);
       ("lint", Test_lint.suite);
       ("plan_lint", Test_plan_lint.suite);
+      ("native_lint", Test_native_lint.suite);
       ("schedule", Test_schedule.suite);
       ("core", Test_core.suite) ]
