@@ -1732,8 +1732,292 @@ let e20 () =
       Out_channel.output_string oc json);
   Printf.printf "wrote bench/BENCH_validate.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* E21 — ECM-ranked stage fusion for stencil programs. The 16-stage
+   hdiff pipeline is run under a spread of fuse/materialize partitions:
+   host wall clock of fused vs fully-materialized execution (plan
+   backend, outputs asserted bit-identical), and — on both shipped
+   machine files, at the usual 1/8 simulation scale — the agreement
+   between the ECM-predicted partition ranking and rankings measured
+   on the simulated machine. Writes bench/BENCH_fusion.json. *)
+
+let e21 () =
+  header "e21"
+    "ECM-ranked stage fusion for stencil programs (BENCH_fusion.json)";
+  let module P = Stencil.Program in
+  let module Prog = Engine.Prog in
+  let p = Stencil.Suite.hdiff in
+  let dims = [| 256; 256 |] in
+  let config = Config.v () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let key inline = String.concat "," (List.sort compare inline) in
+  let label inline = if inline = [] then "(none)" else key inline in
+  let hp = P.halo_plan p in
+  let fresh_inputs () =
+    let space = Grid.fresh_space () in
+    ( space,
+      List.map
+        (fun (name, halo) ->
+          let prng = Yasksite_util.Prng.create ~seed:(21 + Hashtbl.hash name) in
+          let g = Grid.create ~space ~halo ~dims () in
+          Grid.fill g ~f:(fun _ ->
+              Yasksite_util.Prng.float_range prng ~lo:(-1.0) ~hi:1.0);
+          Grid.halo_dirichlet g 0.0;
+          (name, g))
+        hp.P.input_halo )
+  in
+  let checksum g =
+    let d = Grid.dims g in
+    let acc = ref 0.0 in
+    for y = 0 to d.(0) - 1 do
+      for x = 0 to d.(1) - 1 do
+        acc := !acc +. Grid.get g [| y; x |]
+      done
+    done;
+    !acc
+  in
+  (* Host wall clock of a whole program run (intermediate allocation
+     included — that is the cost materialization actually pays), plan
+     backend, warm-up plus best-of-3. *)
+  let wall_memo = Hashtbl.create 8 in
+  let wall inline =
+    match Hashtbl.find_opt wall_memo (key inline) with
+    | Some r -> r
+    | None ->
+        let fp = P.fuse p ~inline in
+        let space, inputs = fresh_inputs () in
+        let run () = Prog.run ~config ~space fp ~inputs in
+        let r0 = run () in
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let (_ : Prog.result), s = time run in
+          if s < !best then best := s
+        done;
+        let sums = List.map (fun (n, g) -> (n, checksum g)) r0.Prog.outputs in
+        let res = (!best, sums) in
+        Hashtbl.replace wall_memo (key inline) res;
+        res
+  in
+  (* Measured partition time on the simulated machine: one cachesim
+     measurement per stage at its extended extent, summed. Memoized by
+     (machine, stage expression, extent) — hdiff's four symmetric
+     components collapse onto the same measurements. *)
+  let meas_memo = Hashtbl.create 64 in
+  let measured_time m fp =
+    let fhp = P.halo_plan fp in
+    Array.fold_left
+      (fun acc (s : P.stage) ->
+        let ext = List.assoc s.P.name fhp.P.stage_ext in
+        let edims = Array.mapi (fun d e -> dims.(d) + (2 * e)) ext in
+        let k =
+          m.Machine.name ^ "|"
+          ^ Stencil.Expr.to_c s.P.expr
+          ^ "|"
+          ^ String.concat "," (Array.to_list (Array.map string_of_int edims))
+        in
+        let t =
+          match Hashtbl.find_opt meas_memo k with
+          | Some t -> t
+          | None ->
+              let meas =
+                Measure.stencil_sweep m (P.stage_spec fp s) ~dims:edims
+                  ~config
+              in
+              let pts =
+                float_of_int (Array.fold_left ( * ) 1 edims)
+              in
+              let t = pts /. meas.Measure.lups_chip in
+              Hashtbl.replace meas_memo k t;
+              t
+        in
+        acc +. t)
+      0.0 fp.P.stages
+  in
+  let machines =
+    List.map
+      (fun f ->
+        match Machine_file.load f with
+        | Ok m -> (f, Machine.scaled ~factor:8 m)
+        | Error e -> failwith (f ^ ": " ^ e))
+      [ "machines/skylake-sp.machine"; "machines/zen3.machine" ]
+  in
+  let per_machine =
+    List.map
+      (fun (file, m) ->
+        let ranked = Advisor.rank_partitions m p ~dims ~config in
+        let total = List.length ranked in
+        Printf.printf "\n%s (%s): %d partitions ranked\n" file
+          m.Machine.name total;
+        let inline_at i = (List.nth ranked i).Advisor.inline in
+        (* A spread across the predicted ranking: the winner, quartile /
+           median / worst entries, plus the two structural anchors
+           (fully materialized, fully fused). *)
+        let cands =
+          List.sort_uniq compare
+            (List.map (List.sort compare)
+               [ []; inline_at 0; inline_at (total / 4);
+                 inline_at (total / 2); inline_at (total - 1);
+                 P.inlinable p ])
+        in
+        let rows =
+          List.map
+            (fun inline ->
+              let e, rank =
+                match
+                  List.find_index
+                    (fun (e : Advisor.partition) ->
+                      key e.Advisor.inline = key inline)
+                    ranked
+                with
+                | Some i -> (List.nth ranked i, i)
+                | None -> failwith "candidate missing from ranking"
+              in
+              let meas = measured_time m (P.fuse p ~inline) in
+              Printf.printf
+                "  #%4d  %2d stages  pred %8.4f ms  meas %8.4f ms  %s\n"
+                (rank + 1) e.Advisor.stages
+                (1e3 *. e.Advisor.time)
+                (1e3 *. meas) (label inline);
+              (inline, e, rank, meas))
+            cands
+        in
+        let pairs = ref 0 and concordant = ref 0 in
+        List.iteri
+          (fun i (_, (ei : Advisor.partition), _, mi) ->
+            List.iteri
+              (fun j ((_, (ej : Advisor.partition), _, mj)) ->
+                if j > i then begin
+                  incr pairs;
+                  if ei.Advisor.time < ej.Advisor.time = (mi < mj) then
+                    incr concordant
+                end)
+              rows)
+          rows;
+        let find_meas k' =
+          let _, _, _, m' =
+            List.find (fun (i, _, _, _) -> key i = k') rows
+          in
+          m'
+        in
+        let best = List.hd ranked in
+        let meas_best = find_meas (key best.Advisor.inline) in
+        let meas_unfused = find_meas "" in
+        Printf.printf
+          "  ranking agreement %d/%d pairs; best vs fully-materialized: \
+           %.2fx predicted, %.2fx measured\n"
+          !concordant !pairs
+          ((List.find
+              (fun (i, _, _, _) -> key i = "")
+              rows
+           |> fun (_, e, _, _) -> e.Advisor.time)
+          /. best.Advisor.time)
+          (meas_unfused /. meas_best);
+        (file, m, total, rows, !pairs, !concordant, meas_unfused, meas_best,
+         best))
+      machines
+  in
+  (* Host wall clock over the union of interesting partitions. *)
+  let wall_cands =
+    List.sort_uniq compare
+      ([] :: List.map (List.sort compare) (P.inlinable p :: List.map
+         (fun (_, _, _, _, _, _, _, _, (b : Advisor.partition)) ->
+           b.Advisor.inline)
+         per_machine))
+  in
+  let wall_rows = List.map (fun inline -> (inline, wall inline)) wall_cands in
+  let _, (unfused_wall, ref_sums) =
+    List.find (fun (i, _) -> i = []) wall_rows
+  in
+  let bit_identical =
+    List.for_all (fun (_, (_, sums)) -> sums = ref_sums) wall_rows
+  in
+  Printf.printf
+    "\n\
+     host wall clock (plan backend, best of 3; the host interpreter is\n\
+     compute-bound, so recomputation costs dominate here — the simulated\n\
+     machine above is where the memory-traffic trade-off plays out):\n";
+  List.iter
+    (fun (inline, (s, _)) ->
+      Printf.printf "  %8.4f ms  %5.2fx vs unfused  %s\n" (1e3 *. s)
+        (unfused_wall /. s) (label inline))
+    wall_rows;
+  Printf.printf "outputs across partitions: %s\n"
+    (if bit_identical then "bit-identical" else "DIFFER");
+  let json =
+    let ints a =
+      String.concat ", " (Array.to_list (Array.map string_of_int a))
+    in
+    let strs l =
+      String.concat ", " (List.map (Printf.sprintf "%S") l)
+    in
+    let machine_json
+        (file, m, total, rows, pairs, concordant, meas_unfused, meas_best,
+         (best : Advisor.partition)) =
+      let row_json (inline, (e : Advisor.partition), rank, meas) =
+        Printf.sprintf
+          "        {\n\
+          \          \"inline\": [%s],\n\
+          \          \"stages\": %d,\n\
+          \          \"predicted_rank\": %d,\n\
+          \          \"predicted_s\": %.6f,\n\
+          \          \"measured_s\": %.6f\n\
+          \        }"
+          (strs inline) e.Advisor.stages (rank + 1) e.Advisor.time meas
+      in
+      Printf.sprintf
+        "    {\n\
+        \      \"file\": %S,\n\
+        \      \"machine\": %S,\n\
+        \      \"partitions_ranked\": %d,\n\
+        \      \"candidates\": [\n%s\n      ],\n\
+        \      \"ranking_agreement\": {\"pairs\": %d, \"concordant\": %d, \
+         \"fraction\": %.3f},\n\
+        \      \"best\": {\"inline\": [%s], \"predicted_s\": %.6f, \
+         \"measured_s\": %.6f, \"measured_speedup_vs_unfused\": %.3f}\n\
+        \    }"
+        file m.Machine.name total
+        (String.concat ",\n" (List.map row_json rows))
+        pairs concordant
+        (float_of_int concordant /. float_of_int (max 1 pairs))
+        (strs best.Advisor.inline) best.Advisor.time meas_best
+        (meas_unfused /. meas_best)
+    in
+    let wall_json (inline, (s, _)) =
+      Printf.sprintf
+        "      {\"inline\": [%s], \"seconds\": %.6f, \
+         \"speedup_vs_unfused\": %.3f}"
+        (strs inline) s (unfused_wall /. s)
+    in
+    Printf.sprintf
+      "{\n\
+      \  \"program\": \"hdiff\",\n\
+      \  \"dims\": [%s],\n\
+      \  \"scale_factor\": 8,\n\
+      \  \"machines\": [\n%s\n  ],\n\
+      \  \"wall_clock\": {\n\
+      \    \"backend\": \"plan\",\n\
+      \    \"note\": \"host interpreter is compute-bound: recomputation \
+       dominates wall clock; the memory-traffic trade-off is measured on \
+       the simulated machines above\",\n\
+      \    \"bit_identical\": %b,\n\
+      \    \"runs\": [\n%s\n    ]\n\
+      \  }\n\
+       }\n"
+      (ints dims)
+      (String.concat ",\n" (List.map machine_json per_machine))
+      bit_identical
+      (String.concat ",\n" (List.map wall_json wall_rows))
+  in
+  Out_channel.with_open_text "bench/BENCH_fusion.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "wrote bench/BENCH_fusion.json\n"
+
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
             ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
             ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
-            ("e19", e19); ("e20", e20) ]
+            ("e19", e19); ("e20", e20); ("e21", e21) ]

@@ -120,13 +120,14 @@ let backend_arg =
         ("codegen", Engine.Sweep.Codegen_backend) ]
   in
   let doc =
-    "Execution backend for sweeps: $(b,plan) (the kernel-plan driver — \
-     row-hoisted table-addressed loops, the default), $(b,closure) \
-     (the legacy per-point closure tree), or $(b,codegen) (kernels \
-     specialized per plan fingerprint, compiled out of process and \
-     cached; falls back to plan when no OCaml toolchain is available). \
-     All produce bit-identical results. Default: the YASKSITE_BACKEND \
-     environment variable, else plan."
+    "Execution backend for sweeps and program stages: $(b,plan) (the \
+     kernel-plan driver — row-hoisted table-addressed loops, the \
+     default), $(b,closure) (the legacy per-point closure tree), or \
+     $(b,codegen) (kernels specialized per plan fingerprint, compiled \
+     out of process and cached; falls back to plan when no OCaml \
+     toolchain is available). All produce bit-identical results — \
+     including multi-stage program runs. Default: the \
+     YASKSITE_BACKEND environment variable, else plan."
   in
   Arg.(
     value
@@ -983,6 +984,325 @@ let lint_cmd =
       $ fault_seed_arg $ format_arg $ threads_arg $ block_arg $ fold_arg
       $ wavefront_arg $ nt_arg $ stagger_arg $ inputs_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Stencil programs: multi-stage DAG pipelines                         *)
+
+let program_pos_arg =
+  let doc =
+    "Program to operate on: a suite program name (see $(b,hdiff)) or a \
+     path to a textual .prog file."
+  in
+  Arg.(value & pos 0 string "hdiff" & info [] ~docv:"PROGRAM" ~doc)
+
+let prog_dims_arg =
+  let doc =
+    "Grid dimensions for the program's fields, e.g. 256x256 (slowest \
+     dimension first; the rank must match the program's)."
+  in
+  Arg.(value & opt string "256x256" & info [ "d"; "dims" ] ~docv:"DIMS" ~doc)
+
+let load_program input =
+  if Sys.file_exists input then
+    let src = In_channel.with_open_text input In_channel.input_all in
+    match Stencil.Program.parse src with
+    | Ok p -> Ok (p, Some src)
+    | Error (line, msg) ->
+        Error (`Msg (Printf.sprintf "%s: line %d: %s" input line msg))
+  else
+    match Stencil.Suite.find_program input with
+    | p -> Ok (p, None)
+    | exception Not_found ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown program %S (a .prog file, or one of: %s)"
+               input
+               (String.concat ", "
+                  (List.map
+                     (fun (p : Stencil.Program.t) -> p.Stencil.Program.name)
+                     Stencil.Suite.programs))))
+
+(* Deterministic input grids for a program: per-field PRNG streams seeded
+   by the field name, halos zeroed — identical values regardless of the
+   fusion partition being run, so output checksums are comparable. *)
+let program_inputs (p : Stencil.Program.t) ~dims ~config =
+  let hp = Stencil.Program.halo_plan p in
+  let layout =
+    match config.Config.fold with
+    | None -> Grid.Linear
+    | Some f -> Grid.Folded (Array.copy f)
+  in
+  let space = Grid.fresh_space () in
+  ( space,
+    List.map
+      (fun (name, halo) ->
+        let rng = Yasksite_util.Prng.create ~seed:(7 + Hashtbl.hash name) in
+        let g = Grid.create ~space ~halo ~layout ~dims () in
+        Grid.fill g ~f:(fun _ ->
+            Yasksite_util.Prng.float_range rng ~lo:(-1.0) ~hi:1.0);
+        Grid.halo_dirichlet g 0.0;
+        (name, g))
+      hp.Stencil.Program.input_halo )
+
+let grid_checksum g =
+  let dims = Grid.dims g in
+  let rank = Array.length dims in
+  let idx = Array.make rank 0 in
+  let rec go d acc =
+    if d = rank then acc +. Grid.get g idx
+    else begin
+      let acc = ref acc in
+      for i = 0 to dims.(d) - 1 do
+        idx.(d) <- i;
+        acc := go (d + 1) !acc
+      done;
+      !acc
+    end
+  in
+  go 0 0.0
+
+let program_lint_cmd =
+  let inputs_arg =
+    let doc = "Programs to lint: .prog files or suite program names." in
+    Arg.(value & pos_all string [] & info [] ~docv:"PROGRAM" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Only set the exit status; print nothing." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let format_arg =
+    let doc =
+      "Output format: $(b,text) (compiler-style, default) or $(b,json) \
+       (one stable machine-readable report for the whole run)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let run quiet format inputs =
+    protect @@ fun () ->
+    if inputs = [] then
+      or_die
+        (Error (`Msg "nothing to lint (pass .prog files or program names)"));
+    let worst = ref 0 in
+    let collected = ref [] in
+    let report ?src ~origin diagnostics =
+      worst := max !worst (Lint.exit_code diagnostics);
+      match format with
+      | `Json ->
+          List.iter
+            (fun d -> collected := (origin, src, d) :: !collected)
+            diagnostics
+      | `Text ->
+          if not quiet then
+            if diagnostics = [] then Printf.printf "%s: clean\n" origin
+            else begin
+              print_string
+                (Lint.Diagnostic.render_list ?src ~origin diagnostics);
+              Printf.printf "%s: %s\n" origin
+                (Lint.Diagnostic.summary diagnostics)
+            end
+    in
+    List.iter
+      (fun input ->
+        if Sys.file_exists input then
+          let src = In_channel.with_open_text input In_channel.input_all in
+          report ~src ~origin:input (Lint.Program.source src)
+        else
+          match Stencil.Suite.find_program input with
+          | p -> report ~origin:input (Lint.Program.program p)
+          | exception Not_found ->
+              report ~origin:input
+                [ Lint.Diagnostic.errorf ~code:"YS700"
+                    "no such file or suite program: %s" input ])
+      inputs;
+    (match format with
+    | `Json when not quiet ->
+        print_endline (Lint.Diagnostic.report_to_json (List.rev !collected))
+    | _ -> ());
+    exit !worst
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Check program DAGs statically: the YS7xx rules (undefined \
+             fields, cycles, dead stages...) plus the per-stage kernel \
+             rules (exit 1 on errors)")
+    Term.(const run $ quiet_arg $ format_arg $ inputs_arg)
+
+let program_rank_cmd =
+  let top =
+    let doc = "How many top-ranked partitions to list." in
+    Arg.(value & opt int 8 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let run machine scale input dims threads block fold wavefront nt top
+      stats_json =
+    protect @@ fun () ->
+    let m = or_die (machine_of_string ~scale machine) in
+    let p, _ = or_die (load_program input) in
+    let dims = or_die (dims_of_string dims) in
+    let config =
+      or_die
+        (build_config ~block ~fold ~wavefront ~threads ~streaming_stores:nt ())
+    in
+    Lint.gate ~context:"program rank" (Lint.Program.program p);
+    let cache = Model_cache.shared in
+    let store = attach_default_store cache in
+    let ranked = Advisor.rank_partitions ~cache m p ~dims ~config in
+    let unfused =
+      List.find
+        (fun (pt : Advisor.partition) -> pt.Advisor.inline = [])
+        ranked
+    in
+    let tbl =
+      Yasksite_util.Table.create
+        ~title:
+          (Printf.sprintf
+             "Fusion partitions of %s on %s (%d ranked, ECM-predicted)"
+             p.Stencil.Program.name m.Machine.name (List.length ranked))
+        ~columns:
+          [ ("#", Yasksite_util.Table.Right);
+            ("stages", Yasksite_util.Table.Right);
+            ("pred ms", Yasksite_util.Table.Right);
+            ("vs unfused", Yasksite_util.Table.Right);
+            ("inlined", Yasksite_util.Table.Left) ]
+        ()
+    in
+    List.iteri
+      (fun i (pt : Advisor.partition) ->
+        if i < top then
+          Yasksite_util.Table.add_row tbl
+            [ string_of_int (i + 1);
+              string_of_int pt.Advisor.stages;
+              Yasksite_util.Table.cell_f (1e3 *. pt.Advisor.time);
+              Printf.sprintf "%.2fx" (unfused.Advisor.time /. pt.Advisor.time);
+              (match pt.Advisor.inline with
+              | [] -> "(none: fully materialized)"
+              | l -> String.concat " " l) ])
+      ranked;
+    Yasksite_util.Table.print tbl;
+    Printf.printf
+      "unfused baseline: %d stages, %.3f ms predicted; best partition \
+       %.2fx faster\n"
+      unfused.Advisor.stages
+      (1e3 *. unfused.Advisor.time)
+      (match ranked with
+      | best :: _ -> unfused.Advisor.time /. best.Advisor.time
+      | [] -> 1.0);
+    if stats_json then print_endline (stats_json_line ~cache ~store)
+  in
+  Cmd.v
+    (Cmd.info "rank"
+       ~doc:"Rank a program's fuse/materialize partitions with the ECM \
+             model (no execution)")
+    Term.(
+      const run $ machine_arg $ scale_arg $ program_pos_arg $ prog_dims_arg
+      $ threads_arg $ block_arg $ fold_arg $ wavefront_arg $ nt_arg $ top
+      $ stats_json_arg)
+
+let program_run_cmd =
+  let fuse_arg =
+    let doc =
+      "Fusion partition to execute: $(b,none) (fully materialized, the \
+       default), $(b,all) (every inlinable stage fused), $(b,auto) (the \
+       ECM-ranked best partition for this machine and dims), or a \
+       comma-separated list of stage names to inline."
+    in
+    Arg.(value & opt string "none" & info [ "fuse" ] ~docv:"PART" ~doc)
+  in
+  let run machine scale input dims threads block fold nt fuse domains backend
+      stats_json =
+    protect @@ fun () ->
+    Option.iter Engine.Sweep.set_default_backend backend;
+    ignore (Engine.Sweep.default_backend () : Engine.Sweep.backend);
+    let p, _ = or_die (load_program input) in
+    let dims = or_die (dims_of_string dims) in
+    let config =
+      or_die
+        (build_config ~block ~fold ~wavefront:1 ~threads ~streaming_stores:nt
+           ())
+    in
+    let cache = Model_cache.shared in
+    let store = attach_default_store cache in
+    Lint.gate ~context:"program run" (Lint.Program.program p);
+    let inline =
+      match fuse with
+      | "none" -> []
+      | "all" -> Stencil.Program.inlinable p
+      | "auto" ->
+          let m = or_die (machine_of_string ~scale machine) in
+          (Advisor.best_partition ~cache m p ~dims ~config).Advisor.inline
+      | names ->
+          String.split_on_char ',' names
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+    in
+    let fused = Stencil.Program.fuse p ~inline in
+    Printf.printf "%s: %d stages (%s)\n" p.Stencil.Program.name
+      (Array.length fused.Stencil.Program.stages)
+      (match inline with
+      | [] -> "fully materialized"
+      | l -> "fused: " ^ String.concat " " l);
+    let space, inputs = program_inputs fused ~dims ~config in
+    let exec pool =
+      let t0 = Unix.gettimeofday () in
+      let r = Engine.Prog.run ?pool ?backend ~config ~space fused ~inputs in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let result, wall =
+      match domains with
+      | None -> exec None
+      | Some _ -> with_domains domains (fun pool -> exec (Some pool))
+    in
+    let tbl =
+      Yasksite_util.Table.create ~title:"Stage sweeps (execution order)"
+        ~columns:
+          [ ("stage", Yasksite_util.Table.Left);
+            ("points", Yasksite_util.Table.Right);
+            ("vec units", Yasksite_util.Table.Right);
+            ("rows", Yasksite_util.Table.Right);
+            ("blocks", Yasksite_util.Table.Right) ]
+        ()
+    in
+    let total = ref Engine.Sweep.zero_stats in
+    List.iter
+      (fun (sr : Engine.Prog.stage_run) ->
+        total := Engine.Sweep.add_stats !total sr.Engine.Prog.stats;
+        let s = sr.Engine.Prog.stats in
+        Yasksite_util.Table.add_row tbl
+          [ sr.Engine.Prog.stage;
+            string_of_int s.Engine.Sweep.points;
+            string_of_int s.Engine.Sweep.vec_units;
+            string_of_int s.Engine.Sweep.rows;
+            string_of_int s.Engine.Sweep.blocks ])
+      result.Engine.Prog.stages;
+    Yasksite_util.Table.print tbl;
+    Printf.printf "total: %d lattice updates in %.4f s (%.2f MLUP/s)\n"
+      !total.Engine.Sweep.points wall
+      (float_of_int !total.Engine.Sweep.points /. wall /. 1e6);
+    List.iter
+      (fun (name, g) ->
+        Printf.printf "output %-8s checksum % .12e\n" name (grid_checksum g))
+      result.Engine.Prog.outputs;
+    if stats_json then print_endline (stats_json_line ~cache ~store)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute a program on the simulated machine: one extended \
+             sweep per stage in dependency order, under any fusion \
+             partition (outputs are bit-identical across partitions and \
+             backends)")
+    Term.(
+      const run $ machine_arg $ scale_arg $ program_pos_arg $ prog_dims_arg
+      $ threads_arg $ block_arg $ fold_arg $ nt_arg $ fuse_arg $ domains_arg
+      $ backend_arg $ stats_json_arg)
+
+let program_cmd =
+  Cmd.group
+    (Cmd.info "program"
+       ~doc:"Multi-stage stencil programs: lint the DAG, rank fusion \
+             partitions with the ECM model, and execute")
+    [ program_lint_cmd; program_rank_cmd; program_run_cmd ]
+
 let methods_cmd =
   let pde_arg =
     let doc = "PDE problem: heat1d, heat2d or heat3d." in
@@ -1218,4 +1538,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ machines_cmd; stencils_cmd; predict_cmd; run_cmd; tune_cmd;
-            lint_cmd; ode_cmd; methods_cmd; store_cmd ]))
+            lint_cmd; program_cmd; ode_cmd; methods_cmd; store_cmd ]))

@@ -16,6 +16,7 @@ module Stencil = struct
   module Kernel_ast = Yasksite_stencil.Kernel_ast
   module Gen = Yasksite_stencil.Gen
   module Parser = Yasksite_stencil.Parser
+  module Program = Yasksite_stencil.Program
 end
 
 module Config = Yasksite_ecm.Config
@@ -35,6 +36,7 @@ module Engine = struct
   module Cert = Yasksite_engine.Cert
   module Certify = Yasksite_engine.Certify
   module Native = Yasksite_engine.Native
+  module Prog = Yasksite_engine.Prog
 end
 
 module Tuner = Yasksite_tuner.Tuner

@@ -59,6 +59,12 @@ module Stencil : sig
 
   module Gen = Yasksite_stencil.Gen
   module Parser = Yasksite_stencil.Parser
+
+  module Program = Yasksite_stencil.Program
+  (** Multi-stage stencil programs: named stages over named fields
+      forming a DAG, with halo-plan accumulation and stage fusion
+      ({!Engine.Prog} executes them; {!Advisor.rank_partitions} ranks
+      their fuse/materialize partitions with the ECM model). *)
 end
 
 module Config = Yasksite_ecm.Config
@@ -97,6 +103,11 @@ module Engine : sig
   (** Compile/load/cache machinery behind [Sweep.Codegen_backend]:
       kernels compiled once per machine into the store's [kern-v1]
       schema, with graceful fallback to the plan interpreter. *)
+
+  module Prog = Yasksite_engine.Prog
+  (** Topological executor for {!Stencil.Program}: one extended sweep
+      per stage, intermediates materialized with exactly the halo the
+      program's consumer chains require. *)
 end
 
 module Tuner = Yasksite_tuner.Tuner

@@ -55,6 +55,54 @@ val rank_all :
     this library, so callers inject the predicate (typically
     [Lint.Schedule.legal]); candidates it rejects are never scored. *)
 
+type partition = {
+  inline : string list;
+      (** stages substituted into their consumers (not materialized) *)
+  stages : int;  (** stage count after fusion *)
+  time : float;  (** predicted seconds per program execution *)
+  stage_times : (string * float) list;
+      (** per-stage predicted seconds, one entry per surviving stage *)
+}
+
+val rank_partitions :
+  ?cache:Cache.t ->
+  ?limit:int ->
+  Yasksite_arch.Machine.t ->
+  Yasksite_stencil.Program.t ->
+  dims:int array ->
+  config:Config.t ->
+  partition list
+(** ECM ranking of a program's fuse/materialize partitions, fastest
+    first. Each stage of each candidate is priced as its extended sweep
+    — [prod (dims + 2*ext)] lattice updates at the model's predicted
+    chip LUP/s for the (possibly fused) stage expression — capturing
+    both sides of the trade-off: materializing pays extra sweeps over
+    extended extents, fusing pays recomputation and denser reads per
+    point. Every partition is semantically legal: fusion preserves
+    outputs bit-for-bit, and it never {e increases} the accumulated
+    input-halo requirement (per-stage halo boxes over-approximate
+    anisotropic consumer chains, and inlining removes that rounding),
+    so grids sized for the fully-materialized plan satisfy every
+    partition and ranking is purely a performance question.
+
+    Fusion choices cannot interact across connected components, so
+    costs are scored per component subset (2^k model evaluations per
+    component, memoized across identical stage expressions) and the
+    full product space is composed arithmetically — the ranking over
+    all [2^n] partitions is exact while evaluating the model only
+    [sum 2^k_i] times. At most [limit] (default 4096) entries are
+    returned. Raises [Invalid_argument] on a cyclic or non-closed
+    program, or when [dims] does not match the program rank. *)
+
+val best_partition :
+  ?cache:Cache.t ->
+  Yasksite_arch.Machine.t ->
+  Yasksite_stencil.Program.t ->
+  dims:int array ->
+  config:Config.t ->
+  partition
+(** Head of {!rank_partitions}: the predicted-fastest partition. *)
+
 val rank_space :
   ?cache:Cache.t ->
   ?pool:Yasksite_util.Pool.t ->

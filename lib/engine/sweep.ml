@@ -80,11 +80,27 @@ let units_of_box extents fold =
 let dims_str a =
   String.concat "x" (Array.to_list (Array.map string_of_int a))
 
+(* Structural validation of an [?extend] argument — a programmer error,
+   like a bad [vec_unit], not a schedule-legality finding. *)
+let check_extend ~rank = function
+  | None -> ()
+  | Some e ->
+      if Array.length e <> rank then invalid_arg "Sweep: extend rank";
+      if Array.exists (fun x -> x < 0) e then
+        invalid_arg "Sweep: negative extend"
+
+let is_extended = function
+  | None -> false
+  | Some e -> Array.exists (fun x -> x > 0) e
+
 (* Precondition failures surface as lint diagnostics through
    [Lint.Gate_error] (not bare [Invalid_argument]) so the CLI maps them
-   to exit 1 consistently with every other gate. *)
-let check_region ~dims ~lo ~hi =
+   to exit 1 consistently with every other gate. With [?extend] the
+   legal space widens to [[-ext, dims+ext)] — the extension lives in
+   the grids' halos (gated separately). *)
+let check_region ~extend ~dims ~lo ~hi =
   let rank = Array.length dims in
+  let ext i = match extend with Some e -> e.(i) | None -> 0 in
   let ds =
     if Array.length lo <> rank || Array.length hi <> rank then
       [ D.errorf ~code:"YS409"
@@ -94,12 +110,14 @@ let check_region ~dims ~lo ~hi =
       let bad = ref [] in
       Array.iteri
         (fun i d ->
-          if lo.(i) < 0 || hi.(i) > d || lo.(i) > hi.(i) then
+          if lo.(i) < -ext i || hi.(i) > d + ext i || lo.(i) > hi.(i) then
             bad :=
               D.errorf ~code:"YS406"
-                "region [%s..%s) leaves the iteration space %s in \
+                "region [%s..%s) leaves the %siteration space %s in \
                  dimension %d"
-                (dims_str lo) (dims_str hi) (dims_str dims) i
+                (dims_str lo) (dims_str hi)
+                (if is_extended extend then "extended " else "")
+                (dims_str dims) i
               :: !bad)
         dims;
       List.rev !bad
@@ -115,8 +133,9 @@ let check_region ~dims ~lo ~hi =
    traces and traps identical by construction. *)
 
 let run_region ?backend ?bound ?trace ?sanitize ?(check = true)
-    ?(config = Config.default) ?vec_unit spec ~inputs ~output ~lo ~hi =
+    ?(config = Config.default) ?vec_unit ?extend spec ~inputs ~output ~lo ~hi =
   let dims = Grid.dims output in
+  check_extend ~rank:(Array.length dims) extend;
   if check then begin
     let ds = ref [] in
     Array.iteri
@@ -130,7 +149,14 @@ let run_region ?backend ?bound ?trace ?sanitize ?(check = true)
             :: !ds)
       inputs;
     Lint.gate ~context:"Sweep.run_region" (List.rev !ds);
-    check_region ~dims ~lo ~hi
+    check_region ~extend ~dims ~lo ~hi;
+    (* An extended region reads and writes into the halos; the full
+       grids gate proves they are wide enough before any unchecked
+       table access. *)
+    if is_extended extend then
+      Lint.gate ~context:"Sweep.run_region"
+        (Schedule_lint.grids ?extend (Analysis.of_spec spec) config ~inputs
+           ~output)
   end;
   let rank = Array.length dims in
   let fold =
@@ -334,11 +360,17 @@ let run_region ?backend ?bound ?trace ?sanitize ?(check = true)
   { points = !points; vec_units = !vec_units; rows = !rows; blocks = !blocks }
 
 let run_sequential ?backend ?bound ?trace ?sanitize ?check ?config ?vec_unit
-    spec ~inputs ~output =
+    ?extend spec ~inputs ~output =
   let dims = Grid.dims output in
-  let lo = Array.map (fun _ -> 0) dims in
-  run_region ?backend ?bound ?trace ?sanitize ?check ?config ?vec_unit spec
-    ~inputs ~output ~lo ~hi:dims
+  let lo, hi =
+    match extend with
+    | None -> (Array.map (fun _ -> 0) dims, dims)
+    | Some e ->
+        ( Array.map (fun x -> -x) e,
+          Array.mapi (fun i d -> d + e.(i)) dims )
+  in
+  run_region ?backend ?bound ?trace ?sanitize ?check ?config ?vec_unit ?extend
+    spec ~inputs ~output ~lo ~hi
 
 (* Domain-parallel sweep. The interior is split along the blocked
    dimension (dim 0 for rank 1, dim 1 — x or y — otherwise) at block
@@ -350,14 +382,21 @@ let run_sequential ?backend ?bound ?trace ?sanitize ?check ?config ?vec_unit
    creates the parallelism, exactly as it creates the per-thread
    partition on the modelled machine. *)
 let run ?pool ?backend ?plan ?bound ?trace ?sanitize ?(check = true) ?config
-    ?vec_unit spec ~inputs ~output =
+    ?vec_unit ?extend spec ~inputs ~output =
   let cfg = match config with Some c -> c | None -> Config.default in
+  check_extend ~rank:(Grid.rank output) extend;
+  (* The sanitizer's shadow memory models the interior write set; an
+     extended sweep deliberately writes into the halos, which the shadow
+     pass would (correctly, for a plain sweep) trap. The combination is
+     a caller error, not a schedule finding. *)
+  if is_extended extend && sanitize <> None then
+    invalid_arg "Sweep: sanitize is not supported on extended sweeps";
   (* The schedule-legality gate: halo sufficiency, aliasing, layout and
      extent agreement are decided *before* the sweep touches memory.
      [check:false] bypasses it (the sanitizer's adversarial mode). *)
   if check then
     Lint.gate ~context:"Sweep.run"
-      (Schedule_lint.grids (Analysis.of_spec spec) cfg ~inputs ~output);
+      (Schedule_lint.grids ?extend (Analysis.of_spec spec) cfg ~inputs ~output);
   let backend = match backend with Some b -> b | None -> default_backend () in
   (* Lower once when the plan backend needs a bound or a certificate
      lookup needs the fingerprint. *)
@@ -414,26 +453,33 @@ let run ?pool ?backend ?plan ?bound ?trace ?sanitize ?(check = true) ?config
     match pool with
     | None ->
         run_sequential ~backend ?bound ?trace ?sanitize:(slice_of 0)
-          ~check:false ?config ?vec_unit spec ~inputs ~output
+          ~check:false ?config ?vec_unit ?extend spec ~inputs ~output
     | Some pool ->
       let dims = Grid.dims output in
       let rank = Array.length dims in
+      let ext =
+        match extend with Some e -> e | None -> Array.make rank 0
+      in
       let block = Config.block_extents cfg ~dims in
       let pd = if rank = 1 then 0 else 1 in
       let bsize = block.(pd) in
-      let nblocks = ceil_div dims.(pd) bsize in
+      let nblocks = ceil_div (dims.(pd) + (2 * ext.(pd))) bsize in
       let nslices = min (Pool.size pool) nblocks in
       if nslices < 2 then
         run_sequential ~backend ?bound ?trace ?sanitize:(slice_of 0)
-          ~check:false ?config ?vec_unit spec ~inputs ~output
+          ~check:false ?config ?vec_unit ?extend spec ~inputs ~output
       else begin
         let bounds s =
           (* Slice [s] owns block columns [nblocks*s/nslices,
-             nblocks*(s+1)/nslices) along the partition dimension. *)
+             nblocks*(s+1)/nslices) along the partition dimension.
+             Blocks start at the (possibly extended) low edge, exactly
+             where the sequential sweep starts them, so the union of
+             the slices' loop structures stays the sequential one. *)
           let b0 = nblocks * s / nslices and b1 = nblocks * (s + 1) / nslices in
-          let lo = Array.make rank 0 and hi = Array.copy dims in
-          lo.(pd) <- b0 * bsize;
-          hi.(pd) <- min dims.(pd) (b1 * bsize);
+          let lo = Array.map (fun x -> -x) ext
+          and hi = Array.mapi (fun i d -> d + ext.(i)) dims in
+          lo.(pd) <- -ext.(pd) + (b0 * bsize);
+          hi.(pd) <- min (dims.(pd) + ext.(pd)) (-ext.(pd) + (b1 * bsize));
           (lo, hi)
         in
         let out = Array.make nslices zero_stats in

@@ -21,7 +21,9 @@
     whenever a kernel cannot be resolved (no toolchain, rejected or
     unsupported plan, failed compile). All backends produce
     bit-identical output grids, traces and sanitizer verdicts (the plan
-    driver supplies addressing throughout; property-tested). *)
+    driver supplies addressing throughout; property-tested) — including
+    when driven stage-by-stage by the {!Prog} executor over a
+    multi-stage stencil program, under every fusion partition. *)
 
 type stats = {
   points : int;  (** lattice updates performed *)
@@ -71,6 +73,7 @@ val run :
   ?check:bool ->
   ?config:Yasksite_ecm.Config.t ->
   ?vec_unit:int array ->
+  ?extend:int array ->
   Yasksite_stencil.Spec.t ->
   inputs:Yasksite_grid.Grid.t array ->
   output:Yasksite_grid.Grid.t ->
@@ -120,7 +123,20 @@ val run :
     ({!Sanitizer.commit_pass}), recovering the sanitizer's overhead at
     zero traps while keeping version bookkeeping composable.
     Uncertified plans, [~check:false] runs, and runs under
-    [YASKSITE_NO_CERT] keep the fully checked path. *)
+    [YASKSITE_NO_CERT] keep the fully checked path.
+
+    [extend] runs an {e extended sweep}: the iteration space widens to
+    [[-ext.(i), dims.(i)+ext.(i))] per dimension, with the extension
+    living in the grids' halos. The program executor uses this to
+    compute intermediate stages into their halos so consumer stages
+    can read them off-centre without a separate halo exchange. The
+    gate then requires input halos of [radius + ext] and an output
+    halo of at least [ext] (YS404). Extended sweeps keep the pool
+    bit-identity guarantee (slices partition the extended extent at
+    the same block boundaries the sequential sweep uses) but do not
+    combine with [sanitize] — that combination raises
+    [Invalid_argument], since the shadow pass models interior writes
+    only. *)
 
 val run_region :
   ?backend:backend ->
@@ -130,6 +146,7 @@ val run_region :
   ?check:bool ->
   ?config:Yasksite_ecm.Config.t ->
   ?vec_unit:int array ->
+  ?extend:int array ->
   Yasksite_stencil.Spec.t ->
   inputs:Yasksite_grid.Grid.t array ->
   output:Yasksite_grid.Grid.t ->
@@ -141,4 +158,7 @@ val run_region :
     wavefronts. [check] (default [true]) verifies the region stays
     inside the iteration space and the extents agree, raising
     [Lint.Gate_error] (YS406/YS409) otherwise; [sanitize] is one
-    slice's view of an enclosing sanitizer pass. *)
+    slice's view of an enclosing sanitizer pass. [extend] widens the
+    legal region to [[-ext, dims+ext)] (see {!run}); a checked
+    extended region additionally passes the full grids gate, proving
+    the halos can hold the extension. *)

@@ -64,7 +64,11 @@ let count_sites f e =
     match e with
     | NL.Lit _ | NL.Get _ -> ()
     | NL.Neg x -> go x
-    | NL.Bin (_, a, b) ->
+    | NL.Bin (_, a, b) | NL.Fmin (a, b) | NL.Fmax (a, b) ->
+        go a;
+        go b
+    | NL.Sel (c, a, b) ->
+        go c;
         go a;
         go b
   in
@@ -89,7 +93,10 @@ let rewrite_site f ~site e =
         match e with
         | NL.Lit _ | NL.Get _ -> e
         | NL.Neg x -> NL.Neg (go x)
-        | NL.Bin (o, a, b) -> NL.Bin (o, go a, go b))
+        | NL.Bin (o, a, b) -> NL.Bin (o, go a, go b)
+        | NL.Fmin (a, b) -> NL.Fmin (go a, go b)
+        | NL.Fmax (a, b) -> NL.Fmax (go a, go b)
+        | NL.Sel (c, a, b) -> NL.Sel (go c, go a, go b))
   in
   go e
 

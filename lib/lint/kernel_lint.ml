@@ -26,10 +26,13 @@ let rec is_literal_zero = function
 let rec collect_divisors acc = function
   | Expr.Const _ | Expr.Coeff _ | Expr.Ref _ -> acc
   | Expr.Neg x -> collect_divisors acc x
-  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) ->
+  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) | Expr.Min (a, b)
+  | Expr.Max (a, b) ->
       collect_divisors (collect_divisors acc a) b
   | Expr.Div (a, b) ->
       collect_divisors (collect_divisors ((b, D.No_loc) :: acc) a) b
+  | Expr.Select (c, a, b) ->
+      collect_divisors (collect_divisors (collect_divisors acc c) a) b
 
 (* ------------------------------------------------------------------ *)
 (* Rules *)

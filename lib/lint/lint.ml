@@ -5,6 +5,7 @@ module Config = Config_lint
 module Schedule = Schedule_lint
 module Plan = Plan_lint
 module Native = Native_lint
+module Program = Program_lint
 
 let rules =
   [ ("YS100", Diagnostic.Error, "kernel source does not parse");
@@ -107,7 +108,17 @@ let rules =
     ("YS610", Diagnostic.Error, "kernel registration name/ABI mismatch");
     ("YS611", Diagnostic.Error, "prelude binds the wrong source slot");
     ("YS612", Diagnostic.Error, "plan cannot be symbolically evaluated for \
-                                 validation") ]
+                                 validation");
+    ("YS700", Diagnostic.Error, "program source does not parse / malformed \
+                                 stage");
+    ("YS701", Diagnostic.Error, "stage reads a field that is neither an \
+                                 input nor a stage");
+    ("YS702", Diagnostic.Error, "stage dependencies form a cycle");
+    ("YS703", Diagnostic.Error, "duplicate or reserved input/stage name");
+    ("YS704", Diagnostic.Error, "input grid halo thinner than the \
+                                 program's accumulated requirement");
+    ("YS705", Diagnostic.Error, "declared output names no stage");
+    ("YS706", Diagnostic.Warning, "dead stage (no output reads it)") ]
 
 let exit_code = Diagnostic.exit_code
 

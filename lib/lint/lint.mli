@@ -14,6 +14,7 @@ module Config = Config_lint
 module Schedule = Schedule_lint
 module Plan = Plan_lint
 module Native = Native_lint
+module Program = Program_lint
 
 val rules : (string * Diagnostic.severity * string) list
 (** The full rule table (code, default severity, one-line summary) —

@@ -38,8 +38,10 @@ module Ast = Yasksite_stencil.Kernel_ast
 module Grid = Yasksite_grid.Grid
 
 (* Bump whenever the rules or the accepted grammar change: the native
-   certificate embeds this, so stale verdicts are re-proved. *)
-let version = 1
+   certificate embeds this, so stale verdicts are re-proved.
+   v2: compare-select ops (Float.min/Float.max/if-select) joined the
+   accepted grammar. *)
+let version = 2
 
 let dedup = Schedule_lint.dedup
 
@@ -102,7 +104,20 @@ let program_e v (code : Plan.instr array) =
       | Plan.Add -> binop Add
       | Plan.Sub -> binop Sub
       | Plan.Mul -> binop Mul
-      | Plan.Div -> binop Div)
+      | Plan.Div -> binop Div
+      | Plan.Min ->
+          let b = pop () in
+          let a = pop () in
+          push (Fmin (a, b))
+      | Plan.Max ->
+          let b = pop () in
+          let a = pop () in
+          push (Fmax (a, b))
+      | Plan.Sel ->
+          let b = pop () in
+          let a = pop () in
+          let c = pop () in
+          push (Sel (c, a, b)))
     code;
   match !stack with
   | [ e ] -> e
@@ -159,6 +174,10 @@ let rec eq_expr a b =
   | Neg x, Neg y -> eq_expr x y
   | Bin (o1, a1, b1), Bin (o2, a2, b2) ->
       o1 = o2 && eq_expr a1 a2 && eq_expr b1 b2
+  | Fmin (a1, b1), Fmin (a2, b2) | Fmax (a1, b1), Fmax (a2, b2) ->
+      eq_expr a1 a2 && eq_expr b1 b2
+  | Sel (c1, a1, b1), Sel (c2, a2, b2) ->
+      eq_expr c1 c2 && eq_expr a1 a2 && eq_expr b1 b2
   | _ -> false
 
 (* the left [+.] spine — the associativity-sensitive view *)
@@ -252,6 +271,10 @@ let rec diff ~where exp act acc =
         List.fold_left2 (fun acc e a -> diff ~where e a acc) acc se sa
     | Bin (o1, a1, b1), Bin (o2, a2, b2) when o1 = o2 ->
         diff ~where b1 b2 (diff ~where a1 a2 acc)
+    | Fmin (a1, b1), Fmin (a2, b2) | Fmax (a1, b1), Fmax (a2, b2) ->
+        diff ~where b1 b2 (diff ~where a1 a2 acc)
+    | Sel (c1, a1, b1), Sel (c2, a2, b2) ->
+        diff ~where b1 b2 (diff ~where a1 a2 (diff ~where c1 c2 acc))
     | _ ->
         err "YS602"
           "%s: expression structure diverges from the plan — expected %s, \
@@ -270,7 +293,8 @@ let halo_bounds ~where (plan : Plan.t) ~inputs act acc =
     match e with
     | Lit _ -> acc
     | Neg x -> walk x acc
-    | Bin (_, a, b) -> walk b (walk a acc)
+    | Bin (_, a, b) | Fmin (a, b) | Fmax (a, b) -> walk b (walk a acc)
+    | Sel (c, a, b) -> walk b (walk a (walk c acc))
     | Get a ->
         let slot, shift =
           match a with

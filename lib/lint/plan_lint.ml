@@ -60,9 +60,12 @@ let simulate code =
              incr sp;
              if !sp > !mx then mx := !sp
          | Neg -> need 1
-         | Add | Sub | Mul | Div ->
+         | Add | Sub | Mul | Div | Min | Max ->
              need 2;
-             decr sp)
+             decr sp
+         | Sel ->
+             need 3;
+             sp := !sp - 2)
        code
    with Exit -> ());
   { max_depth = !mx;
@@ -125,6 +128,27 @@ let const_rules code =
             | Plan.Sub, Known x, Known y -> Known (x -. y)
             | Plan.Mul, Known x, Known y -> Known (x *. y)
             | Plan.Div, Known x, Known y -> Known (x /. y)
+            | _ -> Unknown
+          in
+          stack := r :: !stack
+      | (Min | Max) as op ->
+          let b = pop () in
+          let a = pop () in
+          let r =
+            match (op, a, b) with
+            | Plan.Min, Known x, Known y -> Known (Float.min x y)
+            | Plan.Max, Known x, Known y -> Known (Float.max x y)
+            | _ -> Unknown
+          in
+          stack := r :: !stack
+      | Sel ->
+          let b = pop () in
+          let a = pop () in
+          let c = pop () in
+          let r =
+            match (c, a, b) with
+            | Known vc, Known va, Known vb ->
+                Known (if vc > 0.0 then va else vb)
             | _ -> Unknown
           in
           stack := r :: !stack)
@@ -355,7 +379,9 @@ let counts (plan : Plan.t) =
         Array.iter
           (fun (ins : Plan.instr) ->
             match ins with
-            | Plan.Add | Plan.Sub -> incr a
+            (* Min/Max/Sel are billed as additive work, matching
+               Analysis.count_ops. *)
+            | Plan.Add | Plan.Sub | Plan.Min | Plan.Max | Plan.Sel -> incr a
             | Plan.Mul -> incr m
             | Plan.Div -> incr d
             | _ -> ())

@@ -1,0 +1,106 @@
+(* Program-level lint: the YS7xx DAG rules over Stencil.Program, plus
+   the per-stage YS1xx kernel rules. Grid-free except [grids], which
+   judges supplied input grids against the accumulated halo plan. *)
+
+module P = Yasksite_stencil.Program
+module Grid = Yasksite_grid.Grid
+module D = Diagnostic
+
+let dims_str a =
+  String.concat "x" (Array.to_list (Array.map string_of_int a))
+
+let of_issue = function
+  | P.Bad_name { name; reason } ->
+      D.errorf ~code:"YS703" "name %S is unusable: %s" name reason
+  | P.Duplicate_name name ->
+      D.errorf ~code:"YS703" "name %S is defined more than once" name
+  | P.Undefined_field { stage; field } ->
+      D.errorf ~code:"YS701"
+        "stage %s reads %S, which is neither an input nor a stage" stage field
+  | P.Cycle names ->
+      D.errorf ~code:"YS702" "stage dependencies form a cycle: %s"
+        (String.concat " -> " (names @ [ List.hd names ]))
+  | P.Output_unknown name ->
+      D.errorf ~code:"YS705" "output %S names no stage" name
+  | P.Dead_stage name ->
+      D.warningf ~code:"YS706" "stage %s contributes to no output" name
+
+(* The per-stage kernel rules, findings prefixed with the stage name.
+   A stage too malformed for a Spec (reads no field) is a YS700. *)
+let stage_findings p (s : P.stage) =
+  match P.stage_spec p s with
+  | exception Invalid_argument msg ->
+      [ D.errorf ~code:"YS700" "stage %s is malformed: %s" s.name msg ]
+  | spec ->
+      List.map
+        (fun (d : D.t) ->
+          { d with message = Printf.sprintf "stage %s: %s" s.name d.message })
+        (Kernel_lint.spec spec)
+
+let program p =
+  let dag = List.map of_issue (P.issues p) in
+  let stages =
+    List.concat_map (stage_findings p) (Array.to_list p.P.stages)
+  in
+  dag @ stages
+
+let source src =
+  match P.parse src with
+  | Error (line, msg) ->
+      [ D.errorf ~loc:(D.Line line) ~code:"YS700" "%s" msg ]
+  | Ok p -> program p
+
+let grids p ~inputs =
+  let no_plan =
+    (* A cyclic or non-closed program has no halo plan; the YS701/702/705
+       findings from [program] are the actionable ones. *)
+    List.exists
+      (function
+        | P.Cycle _ | P.Undefined_field _ | P.Output_unknown _ -> true
+        | _ -> false)
+      (P.issues p)
+  in
+  if no_plan then []
+  else
+    let hp = P.halo_plan p in
+      let ds = ref [] in
+      let dims = ref None in
+      List.iter
+        (fun (name, need) ->
+          match List.assoc_opt name inputs with
+          | None ->
+              ds :=
+                D.errorf ~code:"YS704" "program input %S was not supplied"
+                  name
+                :: !ds
+          | Some g ->
+              (match !dims with
+              | None -> dims := Some (Grid.dims g)
+              | Some d ->
+                  if Grid.dims g <> d then
+                    ds :=
+                      D.errorf ~code:"YS409"
+                        "input %S is %s but other inputs are %s" name
+                        (dims_str (Grid.dims g))
+                        (dims_str d)
+                      :: !ds);
+              let have = Grid.halo g in
+              if Array.length have <> Array.length need then
+                ds :=
+                  D.errorf ~code:"YS409"
+                    "input %S has rank %d but the program has rank %d" name
+                    (Array.length have) (Array.length need)
+                  :: !ds
+              else
+                Array.iteri
+                  (fun d r ->
+                    if have.(d) < r then
+                      ds :=
+                        D.errorf ~code:"YS704"
+                          "input %S has a halo of %d in dimension %d but \
+                           the program's consumer chains reach %d cells out"
+                          name have.(d) d r
+                        :: !ds)
+                  need)
+        hp.P.input_halo;
+      List.rev !ds

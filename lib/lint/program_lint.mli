@@ -1,0 +1,40 @@
+(** Static checks on stencil programs — the [YS7xx] rule family.
+
+    A program is a DAG of named stages ({!Yasksite_stencil.Program});
+    these rules prove it executable before the engine materializes any
+    intermediate:
+
+    - [YS700] (error): the program source does not parse, or a stage is
+      structurally malformed (e.g. reads no field);
+    - [YS701] (error): a stage reads a field that is neither a program
+      input nor a stage;
+    - [YS702] (error): stage dependencies form a cycle;
+    - [YS703] (error): duplicate input/stage name, or a name the
+      expression language reserves (builtins, [f<digits>]);
+    - [YS704] (error): a supplied input grid cannot hold the program's
+      accumulated halo requirement (the {e halo overrun} of a
+      consumer chain), or a program input was not supplied;
+    - [YS705] (error): a declared output names no stage;
+    - [YS706] (warning): a dead stage — no output transitively reads it.
+
+    Each stage additionally runs the single-kernel [YS1xx] rules
+    ({!Kernel_lint}), with findings prefixed by the stage name. *)
+
+val program : Yasksite_stencil.Program.t -> Diagnostic.t list
+(** Lint an already-constructed program: the DAG rules
+    (YS701–YS706) plus the per-stage kernel rules. *)
+
+val source : string -> Diagnostic.t list
+(** Lint a program given in the textual format. Parse failures become a
+    single [YS700] finding carrying the 1-based line; otherwise
+    {!program} runs. Never raises. *)
+
+val grids :
+  Yasksite_stencil.Program.t ->
+  inputs:(string * Yasksite_grid.Grid.t) list ->
+  Diagnostic.t list
+(** Judge concrete input grids against the program's halo plan: every
+    program input supplied (YS704), extents agreeing across inputs
+    (YS409), and each halo at least the accumulated requirement
+    (YS704). The executor gates on this before allocating
+    intermediates. *)

@@ -233,10 +233,16 @@ let rule_alias info ~inputs ~output =
         i)
     !seen
 
-(* YS404 — the sweep reads up to radius cells beyond the interior; a
-   thinner halo sends those reads out of the allocation. *)
-let rule_halo info ~inputs =
+(* YS404 — the sweep reads up to radius cells beyond the interior (plus
+   any region extension on extended sweeps); a thinner halo sends those
+   reads out of the allocation. *)
+let rule_halo ?extend info ~inputs =
   let rank = info.Analysis.spec.Spec.rank in
+  let ext d =
+    match extend with
+    | Some e when Array.length e = rank -> e.(d)
+    | _ -> 0
+  in
   let ds = ref [] in
   Array.iteri
     (fun i g ->
@@ -245,17 +251,40 @@ let rule_halo info ~inputs =
         let have = Grid.halo g in
         Array.iteri
           (fun d r ->
-            if have.(d) < r then
+            if have.(d) < r + ext d then
               ds :=
                 D.errorf ~code:"YS404"
                   "input field %d has a halo of %d in dimension %d but the \
-                   stencil reads up to %d cells out"
-                  i have.(d) d r
+                   %ssweep reads up to %d cells out"
+                  i have.(d) d
+                  (if ext d > 0 then "extended " else "")
+                  (r + ext d)
                 :: !ds)
           need
       end)
     inputs;
   List.rev !ds
+
+(* YS404 (extended sweeps) — the output is written up to the extension
+   beyond the interior; the allocation must hold those cells. *)
+let rule_extend_output ?extend ~output () =
+  match extend with
+  | None -> []
+  | Some e ->
+      let have = Grid.halo output in
+      let ds = ref [] in
+      if Array.length have = Array.length e then
+        Array.iteri
+          (fun d x ->
+            if x > have.(d) then
+              ds :=
+                D.errorf ~code:"YS404"
+                  "the extended sweep writes %d cell(s) past the interior \
+                   in dimension %d but the output halo is only %d wide"
+                  x d have.(d)
+                :: !ds)
+          e;
+      List.rev !ds
 
 (* YS405 — the candidate claims a vector-folded layout; executing it
    over grids laid out differently measures a different schedule than
@@ -308,12 +337,13 @@ let rule_grid_dims info ~inputs ~output =
     inputs;
   List.rev !ds
 
-let grids info config ~inputs ~output =
+let grids ?extend info config ~inputs ~output =
   let structural = rule_grid_dims info ~inputs ~output in
   if structural <> [] then structural
   else
     rule_alias info ~inputs ~output
-    @ rule_halo info ~inputs
+    @ rule_halo ?extend info ~inputs
+    @ rule_extend_output ?extend ~output ()
     @ rule_layout config ~inputs ~output
 
 (* ------------------------------------------------------------------ *)

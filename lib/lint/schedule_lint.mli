@@ -44,11 +44,18 @@ val wavefront_rules :
     (YS400), single field required at any depth (YS401), rank (YS409). *)
 
 val grids :
+  ?extend:int array ->
   Analysis.t -> Config.t -> inputs:Grid.t array -> output:Grid.t ->
   Diagnostic.t list
 (** Judge concrete grids for one sweep: extent agreement (YS409),
     aliasing (YS403), halo sufficiency (YS404), fold/layout agreement
-    (YS405). Structural YS409 failures short-circuit the rest. *)
+    (YS405). Structural YS409 failures short-circuit the rest.
+
+    [extend] widens the judged iteration space to [[-ext, dims+ext)]
+    per dimension (an {e extended sweep}, used by the program executor
+    to compute intermediate stages into their halos): inputs must then
+    hold [radius + ext] halo cells and the output [ext] — both reported
+    as YS404. *)
 
 val partition :
   dims:int array -> (int array * int array) list -> Diagnostic.t list

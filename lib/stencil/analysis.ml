@@ -22,6 +22,12 @@ let rec count_ops (adds, muls, divs) (e : Expr.t) =
       count_ops (count_ops (adds + 1, muls, divs) a) b
   | Mul (a, b) -> count_ops (count_ops (adds, muls + 1, divs) a) b
   | Div (a, b) -> count_ops (count_ops (adds, muls, divs + 1) a) b
+  (* Compare-select ops retire on the FP add ports on every modern
+     core (vminpd/vmaxpd/vcmppd+vblendvpd), so they are billed as
+     additive work for throughput purposes. *)
+  | Min (a, b) | Max (a, b) -> count_ops (count_ops (adds + 1, muls, divs) a) b
+  | Select (c, a, b) ->
+      count_ops (count_ops (count_ops (adds + 1, muls, divs) c) a) b
 
 let classify accesses =
   let nonzero_axes (a : Expr.access) =

@@ -152,7 +152,22 @@ let program_expr v (code : Plan.instr array) =
       | Plan.Add -> binop "+."
       | Plan.Sub -> binop "-."
       | Plan.Mul -> binop "*."
-      | Plan.Div -> binop "/.")
+      | Plan.Div -> binop "/."
+      | Plan.Min ->
+          let b = pop () in
+          let a = pop () in
+          push (Printf.sprintf "(Float.min %s %s)" a b)
+      | Plan.Max ->
+          let b = pop () in
+          let a = pop () in
+          push (Printf.sprintf "(Float.max %s %s)" a b)
+      | Plan.Sel ->
+          (* operands are pure (loads/literals), so materializing all
+             three and blending is the interpreter's exact semantics *)
+          let b = pop () in
+          let a = pop () in
+          let c = pop () in
+          push (Printf.sprintf "(if %s > 0.0 then %s else %s)" c a b))
     code;
   match !stack with
   | [ e ] -> e

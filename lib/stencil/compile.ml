@@ -53,6 +53,18 @@ let rec comp1 inputs (e : Expr.t) : int -> float =
   | Div (a, b) ->
       let fa = comp1 inputs a and fb = comp1 inputs b in
       fun x -> fa x /. fb x
+  | Min (a, b) ->
+      let fa = comp1 inputs a and fb = comp1 inputs b in
+      fun x -> Float.min (fa x) (fb x)
+  | Max (a, b) ->
+      let fa = comp1 inputs a and fb = comp1 inputs b in
+      fun x -> Float.max (fa x) (fb x)
+  | Select (c, a, b) ->
+      let fc = comp1 inputs c and fa = comp1 inputs a and fb = comp1 inputs b in
+      fun x ->
+        (* all operands evaluated: Select is branchless, not lazy *)
+        let va = fa x and vb = fb x in
+        if fc x > 0.0 then va else vb
 
 let rec comp2 inputs (e : Expr.t) : int -> int -> float =
   match e with
@@ -78,6 +90,17 @@ let rec comp2 inputs (e : Expr.t) : int -> int -> float =
   | Div (a, b) ->
       let fa = comp2 inputs a and fb = comp2 inputs b in
       fun y x -> fa y x /. fb y x
+  | Min (a, b) ->
+      let fa = comp2 inputs a and fb = comp2 inputs b in
+      fun y x -> Float.min (fa y x) (fb y x)
+  | Max (a, b) ->
+      let fa = comp2 inputs a and fb = comp2 inputs b in
+      fun y x -> Float.max (fa y x) (fb y x)
+  | Select (c, a, b) ->
+      let fc = comp2 inputs c and fa = comp2 inputs a and fb = comp2 inputs b in
+      fun y x ->
+        let va = fa y x and vb = fb y x in
+        if fc y x > 0.0 then va else vb
 
 let rec comp3 inputs (e : Expr.t) : int -> int -> int -> float =
   match e with
@@ -103,6 +126,17 @@ let rec comp3 inputs (e : Expr.t) : int -> int -> int -> float =
   | Div (a, b) ->
       let fa = comp3 inputs a and fb = comp3 inputs b in
       fun z y x -> fa z y x /. fb z y x
+  | Min (a, b) ->
+      let fa = comp3 inputs a and fb = comp3 inputs b in
+      fun z y x -> Float.min (fa z y x) (fb z y x)
+  | Max (a, b) ->
+      let fa = comp3 inputs a and fb = comp3 inputs b in
+      fun z y x -> Float.max (fa z y x) (fb z y x)
+  | Select (c, a, b) ->
+      let fc = comp3 inputs c and fa = comp3 inputs a and fb = comp3 inputs b in
+      fun z y x ->
+        let va = fa z y x and vb = fb z y x in
+        if fc z y x > 0.0 then va else vb
 
 let compile1 (spec : Spec.t) ~inputs =
   if spec.rank <> 1 then invalid_arg "Compile.compile1: rank must be 1";

@@ -15,6 +15,12 @@ let ( /: ) a b = Expr.Div (a, b)
 
 let neg a = Expr.Neg a
 
+let fmin a b = Expr.Min (a, b)
+
+let fmax a b = Expr.Max (a, b)
+
+let select cond a b = Expr.Select (cond, a, b)
+
 let sum = function
   | [] -> invalid_arg "Dsl.sum: empty list"
   | x :: rest -> List.fold_left ( +: ) x rest

@@ -28,5 +28,15 @@ val ( /: ) : Expr.t -> Expr.t -> Expr.t
 
 val neg : Expr.t -> Expr.t
 
+val fmin : Expr.t -> Expr.t -> Expr.t
+(** [Expr.Min]; named to avoid shadowing [Stdlib.min]. *)
+
+val fmax : Expr.t -> Expr.t -> Expr.t
+(** [Expr.Max]; named to avoid shadowing [Stdlib.max]. *)
+
+val select : Expr.t -> Expr.t -> Expr.t -> Expr.t
+(** [select cond a b] evaluates all three operands and yields [a] when
+    [cond > 0.0], else [b] — a branchless compare-select. *)
+
 val sum : Expr.t list -> Expr.t
 (** Left-associated sum; the list must be non-empty. *)

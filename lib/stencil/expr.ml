@@ -9,6 +9,9 @@ type t =
   | Sub of t * t
   | Mul of t * t
   | Div of t * t
+  | Min of t * t
+  | Max of t * t
+  | Select of t * t * t
 
 let equal = ( = )
 
@@ -17,15 +20,23 @@ let rec fold_accesses e ~init ~f =
   | Const _ | Coeff _ -> init
   | Ref a -> f init a
   | Neg x -> fold_accesses x ~init ~f
-  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Min (a, b) | Max (a, b)
+    ->
       fold_accesses b ~init:(fold_accesses a ~init ~f) ~f
+  | Select (c, a, b) ->
+      fold_accesses b
+        ~init:(fold_accesses a ~init:(fold_accesses c ~init ~f) ~f)
+        ~f
 
 let coeff_names e =
   let rec go acc = function
     | Const _ | Ref _ -> acc
     | Coeff n -> n :: acc
     | Neg x -> go acc x
-    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> go (go acc a) b
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Min (a, b)
+    | Max (a, b) ->
+        go (go acc a) b
+    | Select (c, a, b) -> go (go (go acc c) a) b
   in
   List.sort_uniq compare (go [] e)
 
@@ -38,6 +49,10 @@ let rec subst_coeffs env = function
   | Sub (a, b) -> Sub (subst_coeffs env a, subst_coeffs env b)
   | Mul (a, b) -> Mul (subst_coeffs env a, subst_coeffs env b)
   | Div (a, b) -> Div (subst_coeffs env a, subst_coeffs env b)
+  | Min (a, b) -> Min (subst_coeffs env a, subst_coeffs env b)
+  | Max (a, b) -> Max (subst_coeffs env a, subst_coeffs env b)
+  | Select (c, a, b) ->
+      Select (subst_coeffs env c, subst_coeffs env a, subst_coeffs env b)
 
 let rec map_accesses f = function
   | Const c -> Const c
@@ -48,6 +63,10 @@ let rec map_accesses f = function
   | Sub (a, b) -> Sub (map_accesses f a, map_accesses f b)
   | Mul (a, b) -> Mul (map_accesses f a, map_accesses f b)
   | Div (a, b) -> Div (map_accesses f a, map_accesses f b)
+  | Min (a, b) -> Min (map_accesses f a, map_accesses f b)
+  | Max (a, b) -> Max (map_accesses f a, map_accesses f b)
+  | Select (c, a, b) ->
+      Select (map_accesses f c, map_accesses f a, map_accesses f b)
 
 let rec subst_accesses f = function
   | Const c -> Const c
@@ -58,10 +77,16 @@ let rec subst_accesses f = function
   | Sub (a, b) -> Sub (subst_accesses f a, subst_accesses f b)
   | Mul (a, b) -> Mul (subst_accesses f a, subst_accesses f b)
   | Div (a, b) -> Div (subst_accesses f a, subst_accesses f b)
+  | Min (a, b) -> Min (subst_accesses f a, subst_accesses f b)
+  | Max (a, b) -> Max (subst_accesses f a, subst_accesses f b)
+  | Select (c, a, b) ->
+      Select (subst_accesses f c, subst_accesses f a, subst_accesses f b)
 
 let axis_names = [| "z"; "y"; "x" |]
 
-let access_to_c a =
+let default_field_name = Printf.sprintf "f%d"
+
+let access_to_c ?(field_name = default_field_name) a =
   let rank = Array.length a.offsets in
   let coords =
     Array.to_list
@@ -74,21 +99,28 @@ let access_to_c a =
            else Printf.sprintf "%s-%d" name (-d))
          a.offsets)
   in
-  Printf.sprintf "f%d(%s)" a.field (String.concat "," coords)
+  Printf.sprintf "%s(%s)" (field_name a.field) (String.concat "," coords)
 
 (* Precedence levels: 0 additive, 1 multiplicative, 2 unary/atom. *)
-let rec render prec e =
+let rec render fn prec e =
   let paren p s = if p < prec then "(" ^ s ^ ")" else s in
   match e with
   | Const c -> Printf.sprintf "%.17g" c
   | Coeff n -> n
-  | Ref a -> access_to_c a
-  | Neg x -> paren 1 ("-" ^ render 2 x)
-  | Add (a, b) -> paren 0 (render 0 a ^ " + " ^ render 0 b)
-  | Sub (a, b) -> paren 0 (render 0 a ^ " - " ^ render 1 b)
-  | Mul (a, b) -> paren 1 (render 1 a ^ " * " ^ render 2 b)
-  | Div (a, b) -> paren 1 (render 1 a ^ " / " ^ render 2 b)
+  | Ref a -> access_to_c ~field_name:fn a
+  | Neg x -> paren 1 ("-" ^ render fn 2 x)
+  | Add (a, b) -> paren 0 (render fn 0 a ^ " + " ^ render fn 0 b)
+  | Sub (a, b) -> paren 0 (render fn 0 a ^ " - " ^ render fn 1 b)
+  | Mul (a, b) -> paren 1 (render fn 1 a ^ " * " ^ render fn 2 b)
+  | Div (a, b) -> paren 1 (render fn 1 a ^ " / " ^ render fn 2 b)
+  | Min (a, b) ->
+      Printf.sprintf "min(%s, %s)" (render fn 0 a) (render fn 0 b)
+  | Max (a, b) ->
+      Printf.sprintf "max(%s, %s)" (render fn 0 a) (render fn 0 b)
+  | Select (c, a, b) ->
+      Printf.sprintf "select(%s, %s, %s)" (render fn 0 c) (render fn 0 a)
+        (render fn 0 b)
 
-let to_c e = render 0 e
+let to_c ?(field_name = default_field_name) e = render field_name 0 e
 
 let pp fmt e = Format.pp_print_string fmt (to_c e)

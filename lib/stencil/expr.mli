@@ -20,6 +20,13 @@ type t =
   | Sub of t * t
   | Mul of t * t
   | Div of t * t
+  | Min of t * t  (** IEEE-754 minimum, [Float.min] semantics *)
+  | Max of t * t  (** IEEE-754 maximum, [Float.max] semantics *)
+  | Select of t * t * t
+      (** [Select (c, a, b)] is the branchless compare-select
+          [if c > 0.0 then a else b]: all three operands are evaluated
+          unconditionally, so it lowers to a predicated blend rather
+          than control flow. *)
 
 val equal : t -> t -> bool
 
@@ -42,12 +49,15 @@ val subst_accesses : (access -> t) -> t -> t
     primitive: substituting "y + h * sum a_ij k_j" for each input access
     folds a Runge–Kutta stage's linear combination into the stencil. *)
 
-val access_to_c : access -> string
+val access_to_c : ?field_name:(int -> string) -> access -> string
 (** Render one field access in the textual syntax, e.g. ["f0(z,y-1,x)"]
-    (used by diagnostics as well as {!to_c}). *)
+    (used by diagnostics as well as {!to_c}). [field_name] overrides the
+    default ["f<index>"] naming — programs render stage-local field
+    names through it. *)
 
-val to_c : t -> string
+val to_c : ?field_name:(int -> string) -> t -> string
 (** Render as a C-like expression, with accesses shown as
-    [f0(z-1,y,x)]-style calls — the shape of YASK-generated scalar code. *)
+    [f0(z-1,y,x)]-style calls — the shape of YASK-generated scalar code.
+    [field_name] as in {!access_to_c}. *)
 
 val pp : Format.formatter -> t -> unit

@@ -27,6 +27,9 @@ type expr =
   | Get of addr
   | Neg of expr
   | Bin of binop * expr * expr
+  | Fmin of expr * expr  (* (Float.min a b) *)
+  | Fmax of expr * expr  (* (Float.max a b) *)
+  | Sel of expr * expr * expr  (* (if c > 0.0 then a else b) *)
 
 type bind =
   | Bind_data of { name : int; src : int }
@@ -213,6 +216,10 @@ let tokenize src =
     end
     else if c = '!' then begin
       emit BANG;
+      incr i
+    end
+    else if c = '>' then begin
+      emit (OP ">");
       incr i
     end
     else if c = '"' then lex_string ()
@@ -416,6 +423,34 @@ and parse_primary p =
           let a = parse_load p in
           expect p RPAREN;
           Get a
+      | IDENT "Float.min" ->
+          ignore (next p);
+          let a = parse_primary p in
+          let b = parse_primary p in
+          expect p RPAREN;
+          Fmin (a, b)
+      | IDENT "Float.max" ->
+          ignore (next p);
+          let a = parse_primary p in
+          let b = parse_primary p in
+          expect p RPAREN;
+          Fmax (a, b)
+      | IDENT "if" ->
+          (* the branchless compare-select: (if c > 0.0 then a else b) *)
+          ignore (next p);
+          let c = parse_primary p in
+          expect p (OP ">");
+          (match next p with
+          | FLOAT f, _ when Int64.bits_of_float f = 0L -> ()
+          | t, l ->
+              fail l "select compares against %s, expected literal 0.0"
+                (tok_str t));
+          expect_ident p "then";
+          let a = parse_primary p in
+          expect_ident p "else";
+          let b = parse_primary p in
+          expect p RPAREN;
+          Sel (c, a, b)
       | FLOAT f when peek2 p = RPAREN ->
           ignore (next p);
           ignore (next p);
@@ -627,6 +662,11 @@ let rec expr_str = function
         match op with Add -> "+." | Sub -> "-." | Mul -> "*." | Div -> "/."
       in
       Printf.sprintf "(%s %s %s)" (expr_str a) o (expr_str b)
+  | Fmin (a, b) -> Printf.sprintf "(Float.min %s %s)" (expr_str a) (expr_str b)
+  | Fmax (a, b) -> Printf.sprintf "(Float.max %s %s)" (expr_str a) (expr_str b)
+  | Sel (c, a, b) ->
+      Printf.sprintf "(if %s > 0.0 then %s else %s)" (expr_str c) (expr_str a)
+        (expr_str b)
 
 let bind_str = function
   | Bind_data { name; src } ->

@@ -29,6 +29,11 @@ type expr =
   | Get of addr
   | Neg of expr
   | Bin of binop * expr * expr
+  | Fmin of expr * expr  (** [(Float.min a b)] *)
+  | Fmax of expr * expr  (** [(Float.max a b)] *)
+  | Sel of expr * expr * expr
+      (** [(if c > 0.0 then a else b)] — the emitted compare-select;
+          the comparison literal is always exactly [+0.0] *)
 
 type bind =
   | Bind_data of { name : int; src : int }

@@ -42,6 +42,21 @@ let rec cfold (e : Expr.t) : Expr.t =
       match (cfold a, cfold b) with
       | Const x, Const y -> Const (x /. y)
       | a', b' -> Div (a', b'))
+  | Min (a, b) -> (
+      match (cfold a, cfold b) with
+      | Const x, Const y -> Const (Float.min x y)
+      | a', b' -> Min (a', b'))
+  | Max (a, b) -> (
+      match (cfold a, cfold b) with
+      | Const x, Const y -> Const (Float.max x y)
+      | a', b' -> Max (a', b'))
+  | Select (c, a, b) -> (
+      (* Folded only when ALL operands are constant: folding just the
+         condition would drop the untaken branch's loads from the access
+         table and change the kernel's read set. *)
+      match (cfold c, cfold a, cfold b) with
+      | Const vc, Const va, Const vb -> Const (if vc > 0.0 then va else vb)
+      | c', a', b' -> Select (c', a', b'))
 
 (* ---- linear-combination (Groups) detection ---- *)
 
@@ -114,6 +129,19 @@ let program slot_of e =
         go a;
         go b;
         push Plan.Div
+    | Min (a, b) ->
+        go a;
+        go b;
+        push Plan.Min
+    | Max (a, b) ->
+        go a;
+        go b;
+        push Plan.Max
+    | Select (c, a, b) ->
+        go c;
+        go a;
+        go b;
+        push Plan.Sel
   in
   go e;
   let code = Array.of_list (List.rev !buf) in
@@ -125,7 +153,8 @@ let program slot_of e =
           incr d;
           if !d > !depth then depth := !d
       | Neg -> ()
-      | Add | Sub | Mul | Div -> decr d)
+      | Add | Sub | Mul | Div | Min | Max -> decr d
+      | Sel -> d := !d - 2)
     code;
   Plan.Program { code; depth = !depth }
 
@@ -392,6 +421,24 @@ let point_program b row stack code x =
         decr sp;
         Array.unsafe_set stack (!sp - 1)
           (Array.unsafe_get stack (!sp - 1) /. Array.unsafe_get stack !sp)
+    | Plan.Min ->
+        decr sp;
+        Array.unsafe_set stack (!sp - 1)
+          (Float.min
+             (Array.unsafe_get stack (!sp - 1))
+             (Array.unsafe_get stack !sp))
+    | Plan.Max ->
+        decr sp;
+        Array.unsafe_set stack (!sp - 1)
+          (Float.max
+             (Array.unsafe_get stack (!sp - 1))
+             (Array.unsafe_get stack !sp))
+    | Plan.Sel ->
+        sp := !sp - 2;
+        Array.unsafe_set stack (!sp - 1)
+          (if Array.unsafe_get stack (!sp - 1) > 0.0 then
+             Array.unsafe_get stack !sp
+           else Array.unsafe_get stack (!sp + 1))
   done;
   Array.unsafe_get stack 0
 

@@ -96,9 +96,19 @@ type located = {
 type state = {
   mutable toks : (token * int * int) list;
   len : int;
+  fields : (string * int) list; (* named input fields (programs) *)
   mutable refs : (Expr.access * (int * int)) list; (* reverse parse order *)
   mutable divs : (Expr.t * (int * int)) list;
 }
+
+(* Builtin functions and their arities. The names are reserved: they
+   can never be coefficients or field names. *)
+let builtin_arity = function
+  | "min" | "max" -> Some 2
+  | "select" -> Some 3
+  | _ -> None
+
+let builtin_names = [ "min"; "max"; "select" ]
 
 let peek st =
   match st.toks with [] -> None | (t, p, _) :: _ -> Some (t, p)
@@ -233,30 +243,83 @@ and parse_atom st ~rank =
       (e, (p, stop))
   | (Ident name, p, pstop) :: _ -> (
       advance st;
-      match (field_of_ident name, peek st) with
-      | Some field, Some (Lparen, _) ->
+      let access_of field =
+        let axes = axes_for rank in
+        let offsets = Array.make rank 0 in
+        for dim = 0 to rank - 1 do
+          if dim > 0 then ignore (expect st Comma "','" : int);
+          offsets.(dim) <- parse_coord st ~axes ~dim_index:dim
+        done;
+        let stop = expect st Rparen "')'" in
+        let access = { Expr.field; offsets } in
+        st.refs <- (access, (p, stop)) :: st.refs;
+        (Expr.Ref access, (p, stop))
+      in
+      match (builtin_arity name, peek st) with
+      | Some arity, Some (Lparen, _) ->
           advance st;
-          let axes = axes_for rank in
-          let offsets = Array.make rank 0 in
-          for dim = 0 to rank - 1 do
-            if dim > 0 then ignore (expect st Comma "','" : int);
-            offsets.(dim) <- parse_coord st ~axes ~dim_index:dim
-          done;
-          let stop = expect st Rparen "')'" in
-          let access = { Expr.field; offsets } in
-          st.refs <- (access, (p, stop)) :: st.refs;
-          (Expr.Ref access, (p, stop))
-      | _, Some (Lparen, _) -> fail p "unknown function %S" name
-      | _, _ -> (Expr.Coeff name, (p, pstop)))
+          let args, stop = parse_args st ~rank in
+          if List.length args <> arity then
+            fail p "%s expects %d arguments, found %d" name arity
+              (List.length args);
+          let e =
+            match (name, args) with
+            | "min", [ a; b ] -> Expr.Min (a, b)
+            | "max", [ a; b ] -> Expr.Max (a, b)
+            | "select", [ c; a; b ] -> Expr.Select (c, a, b)
+            | _ -> assert false
+          in
+          (e, (p, stop))
+      | Some arity, _ ->
+          fail p "%s is a builtin function and needs %d argument(s)" name
+            arity
+      | None, _ -> (
+          match (field_of_ident name, peek st) with
+          | Some field, Some (Lparen, _) ->
+              advance st;
+              access_of field
+          | _, Some (Lparen, _) -> (
+              match List.assoc_opt name st.fields with
+              | Some field ->
+                  advance st;
+                  access_of field
+              | None ->
+                  fail p "unknown function %S (builtins are %s)" name
+                    (String.concat ", " builtin_names))
+          | _, _ -> (
+              match List.assoc_opt name st.fields with
+              | Some _ ->
+                  fail p "field %S requires coordinates, e.g. %s(...)" name
+                    name
+              | None -> (Expr.Coeff name, (p, pstop)))))
   | (_, p, _) :: _ -> fail p "expected expression"
   | [] -> fail st.len "expected expression"
 
-let parse_expr_located ~rank src =
+(* After the call's '(' : comma-separated argument expressions up to
+   the matching ')'. Returns the arguments with the ')' stop offset. *)
+and parse_args st ~rank =
+  let rec go acc =
+    let e, _ = parse_sum st ~rank in
+    match peek st with
+    | Some (Comma, _) ->
+        advance st;
+        go (e :: acc)
+    | _ ->
+        let stop = expect st Rparen "')'" in
+        (List.rev (e :: acc), stop)
+  in
+  go []
+
+let parse_expr_located ?(fields = []) ~rank src =
   if rank < 1 || rank > 3 then Error (0, "rank must be 1..3")
   else begin
     try
       let st =
-        { toks = lex src; len = String.length src; refs = []; divs = [] }
+        { toks = lex src;
+          len = String.length src;
+          fields;
+          refs = [];
+          divs = [] }
       in
       let e, _ = parse_sum st ~rank in
       match peek st with
@@ -266,10 +329,10 @@ let parse_expr_located ~rank src =
     with Parse_error (pos, msg) -> Error (pos, msg)
   end
 
-let parse_expr ~rank src =
+let parse_expr ?fields ~rank src =
   if rank < 1 || rank > 3 then Error "rank must be 1..3"
   else
-    match parse_expr_located ~rank src with
+    match parse_expr_located ?fields ~rank src with
     | Ok l -> Ok l.expr
     | Error (pos, msg) -> Error (Printf.sprintf "at %d: %s" pos msg)
 

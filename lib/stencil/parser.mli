@@ -7,16 +7,23 @@
       expr   ::= term (('+' | '-') term)*
       term   ::= unary (('*' | '/') unary)*
       unary  ::= '-' unary | atom
-      atom   ::= number | name | access | '(' expr ')'
-      access ::= 'f' digits '(' coord (',' coord)* ')'
+      atom   ::= number | name | access | call | '(' expr ')'
+      access ::= field '(' coord (',' coord)* ')'
+      call   ::= ('min' | 'max') '(' expr ',' expr ')'
+               | 'select' '(' expr ',' expr ',' expr ')'
       coord  ::= axis (('+' | '-') digits)? | '-'? digits
     v}
 
     Axis names map to dimensions by rank: rank 3 uses [z,y,x], rank 2
-    [y,x], rank 1 [x] (the convention {!Expr.to_c} prints). A bare name
-    that is not an access is a symbolic coefficient. *)
+    [y,x], rank 1 [x] (the convention {!Expr.to_c} prints). A field is
+    either the [f<digits>] convention or a name from [?fields]. A bare
+    name that is neither is a symbolic coefficient. [min]/[max]/[select]
+    are reserved builtins ([select cond a b] = [if cond > 0 then a else
+    b], all operands evaluated); calling one with the wrong number of
+    arguments is a parse error located at the call. *)
 
-val parse_expr : rank:int -> string -> (Expr.t, string) result
+val parse_expr :
+  ?fields:(string * int) list -> rank:int -> string -> (Expr.t, string) result
 (** Parse an expression; errors carry a position and a description
     (formatted ["at <pos>: <message>"]). *)
 
@@ -30,7 +37,11 @@ type located = {
       (** the right-hand side of every division with its span *)
 }
 
-val parse_expr_located : rank:int -> string -> (located, int * string) result
+val parse_expr_located :
+  ?fields:(string * int) list ->
+  rank:int ->
+  string ->
+  (located, int * string) result
 (** Like {!parse_expr} but additionally reports the source spans of
     field references and divisor subexpressions, and returns errors as a
     structured [(position, message)] pair. Every failure path carries a

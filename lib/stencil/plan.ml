@@ -39,6 +39,9 @@ type instr =
   | Sub
   | Mul
   | Div
+  | Min
+  | Max
+  | Sel  (* pops b, a, c; pushes [if c > 0.0 then a else b] *)
 
 type body =
   | Groups of group array
@@ -108,7 +111,10 @@ let render b t =
             | Add -> "+;"
             | Sub -> "-;"
             | Mul -> "*;"
-            | Div -> "/;"))
+            | Div -> "/;"
+            | Min -> "m;"
+            | Max -> "M;"
+            | Sel -> "?;"))
         code
 
 let fingerprint_of ~name ~rank ~n_fields ~accesses ~body =

@@ -30,6 +30,11 @@ type instr =
   | Sub
   | Mul
   | Div
+  | Min  (** pops b, a; pushes [Float.min a b] *)
+  | Max  (** pops b, a; pushes [Float.max a b] *)
+  | Sel
+      (** pops b, a, c; pushes [if c > 0.0 then a else b] — the
+          branchless compare-select, all operands already evaluated *)
 
 type body =
   | Groups of group array

@@ -63,6 +63,37 @@ let all =
   [ copy_1d; scale_1d; heat_1d_3pt; heat_2d_5pt; box_2d_9pt; heat_3d_7pt;
     box_3d_27pt; star_3d_r2; varcoef_3d_7pt ]
 
+(* The absinthe-style horizontal diffusion pipeline: per advected field
+   a Laplacian, two flux-limited differences (the limiter is the
+   branchless [select]), and the masked update — 16 stages over 5
+   inputs. The same text ships as examples/hdiff.prog. *)
+let hdiff_text =
+  (* Each advected field F instantiates the same four-stage chain. *)
+  let template =
+    "Flap = -4*Fin(y,x) + Fin(y,x-1) + Fin(y,x+1) + Fin(y-1,x) + Fin(y+1,x)\n\
+     Ffli = select((Flap(y,x+1) - Flap(y,x)) * (Fin(y,x+1) - Fin(y,x)), 0, \
+     Flap(y,x+1) - Flap(y,x))\n\
+     Fflj = select((Flap(y+1,x) - Flap(y,x)) * (Fin(y+1,x) - Fin(y,x)), 0, \
+     Flap(y+1,x) - Flap(y,x))\n\
+     Fout = Fin(y,x) + mask(y,x) * (Ffli(y,x-1) - Ffli(y,x) + Fflj(y-1,x) - \
+     Fflj(y,x))\n"
+  in
+  let component f = String.concat f (String.split_on_char 'F' template) in
+  "program hdiff\n" ^ "rank 2\n" ^ "inputs uin vin win ppin mask\n"
+  ^ "outputs uout vout wout ppout\n"
+  ^ String.concat "" (List.map component [ "u"; "v"; "w"; "pp" ])
+
+let hdiff =
+  match Program.parse hdiff_text with
+  | Ok p -> p
+  | Error (line, msg) ->
+      failwith (Printf.sprintf "Suite.hdiff: line %d: %s" line msg)
+
+let programs = [ hdiff ]
+
+let find_program name =
+  List.find (fun (p : Program.t) -> p.name = name) programs
+
 let eval_suite =
   [ heat_2d_5pt; box_2d_9pt; heat_3d_7pt; box_3d_27pt; star_3d_r2;
     varcoef_3d_7pt ]

@@ -40,3 +40,20 @@ val find : string -> Spec.t
 val resolve_defaults : Spec.t -> Spec.t
 (** Bind every symbolic coefficient to a documented default (e.g.
     [r = 0.1]), leaving the kernel ready to compile. *)
+
+val hdiff_text : string
+(** The textual source of {!hdiff} (also shipped as
+    [examples/hdiff.prog]). *)
+
+val hdiff : Program.t
+(** The absinthe-style horizontal-diffusion program: per advected field
+    ([u], [v], [w], [pp]) a Laplacian stage, two flux stages whose
+    limiter is the branchless [select], and a masked output update —
+    16 stages over 5 inputs, 4 independent components. The multi-stage
+    pipeline of the fusion experiments. *)
+
+val programs : Program.t list
+(** Every suite program, in presentation order. *)
+
+val find_program : string -> Program.t
+(** Lookup by name; raises [Not_found]. *)

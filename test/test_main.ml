@@ -19,4 +19,5 @@ let () =
       ("plan_lint", Test_plan_lint.suite);
       ("native_lint", Test_native_lint.suite);
       ("schedule", Test_schedule.suite);
+      ("program", Test_program.suite);
       ("core", Test_core.suite) ]
